@@ -1,0 +1,121 @@
+package main
+
+import (
+	"testing"
+)
+
+// The command functions parse their own flags from argument slices, so
+// they can be driven end to end in-process. They print to stdout, which
+// go test tolerates; correctness of the numbers is pinned by the
+// library tests — these tests pin the wiring.
+
+func TestCmdLifetime(t *testing.T) {
+	cases := [][]string{
+		{"-current", "0.96A"},
+		{"-current", "0.96A", "-freq", "1"},
+		{"-current", "0.96A", "-cutoff", "3.4"},
+		{"-current", "0.96A", "-freq", "1", "-cutoff", "3.4"},
+	}
+	for _, args := range cases {
+		if err := cmdLifetime(args); err != nil {
+			t.Errorf("lifetime %v: %v", args, err)
+		}
+	}
+}
+
+func TestCmdLifetimeErrors(t *testing.T) {
+	cases := [][]string{
+		{"-current", "0.96V"},
+		{"-capacity", "800joules"},
+		{"-current", "0.96A", "-cutoff", "9.9"},
+		{"-c", "0"},
+	}
+	for _, args := range cases {
+		if err := cmdLifetime(args); err == nil {
+			t.Errorf("lifetime %v: expected error", args)
+		}
+	}
+}
+
+func TestCmdCalibrate(t *testing.T) {
+	if err := cmdCalibrate([]string{"-target", "90min"}); err != nil {
+		t.Errorf("calibrate: %v", err)
+	}
+	if err := cmdCalibrate([]string{"-target", "1min"}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	if err := cmdTrace([]string{"-until", "30min", "-interval", "5min"}); err != nil {
+		t.Errorf("trace: %v", err)
+	}
+	if err := cmdTrace([]string{"-interval", "0s"}); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestCmdCDF(t *testing.T) {
+	args := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "1", "-k", "0",
+		"-delta", "720As", "-until", "6h", "-points", "4",
+	}
+	if err := cmdCDF(args); err != nil {
+		t.Errorf("cdf: %v", err)
+	}
+	if err := cmdCDF(append(args[:len(args):len(args)], "-plot")); err != nil {
+		t.Errorf("cdf -plot: %v", err)
+	}
+	if err := cmdCDF([]string{"-delta", "7As"}); err == nil {
+		t.Error("non-divisor delta accepted")
+	}
+}
+
+func TestCmdSimulate(t *testing.T) {
+	args := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "1", "-k", "0",
+		"-runs", "20", "-until", "6h", "-points", "4",
+	}
+	if err := cmdSimulate(args); err != nil {
+		t.Errorf("simulate: %v", err)
+	}
+}
+
+func TestCmdMean(t *testing.T) {
+	args := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-delta", "900As",
+	}
+	if err := cmdMean(args); err != nil {
+		t.Errorf("mean: %v", err)
+	}
+	if err := cmdMean([]string{"-delta", "nonsense"}); err == nil {
+		t.Error("bad delta accepted")
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	args := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "1", "-k", "0",
+		"-delta", "720As", "-runs", "50", "-until", "6h", "-points", "3",
+	}
+	if err := cmdCompare(args); err != nil {
+		t.Errorf("compare: %v", err)
+	}
+	// Two-well battery: no exact column, still works.
+	args2 := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "0.625", "-k", "4.5e-5",
+		"-delta", "900As", "-runs", "50", "-until", "6h", "-points", "3",
+	}
+	if err := cmdCompare(args2); err != nil {
+		t.Errorf("compare two-well: %v", err)
+	}
+}
+
+func TestDKWBand(t *testing.T) {
+	if b := dkwBand(1000); b < 0.042 || b > 0.044 {
+		t.Errorf("dkwBand(1000) = %v", b)
+	}
+	if b := dkwBand(0); b != 1 {
+		t.Errorf("dkwBand(0) = %v", b)
+	}
+}

@@ -1,0 +1,83 @@
+// Command batlife computes battery lifetimes and lifetime distributions
+// from the command line.
+//
+// Subcommands:
+//
+//	lifetime   analytic KiBaM lifetime under constant or square-wave load
+//	cdf        lifetime distribution via the Markovian approximation
+//	simulate   lifetime distribution via Monte-Carlo simulation
+//	calibrate  fit the KiBaM flow constant k to a measured lifetime
+//	trace      charge-well evolution under a square wave
+//	mean       expected lifetime and stranded charge
+//	compare    approximation vs simulation (vs exact when c = 1)
+//
+// Quantities are written with units: currents as "0.96A"/"200mA",
+// charges as "800mAh"/"7200As", durations as "90min"/"2h"/"15000s".
+// Workloads are either built-in ("simple", "burst", "onoff") or custom
+// JSON specifications (see -spec).
+//
+// Examples:
+//
+//	batlife lifetime -capacity 2000mAh -c 0.625 -k 4.5e-5 -current 0.96A
+//	batlife lifetime -capacity 2000mAh -c 0.625 -k 4.5e-5 -current 0.96A -freq 1
+//	batlife cdf -workload simple -capacity 800mAh -c 0.625 -k 4.5e-5 -delta 5mAh -until 30h -points 60
+//	batlife simulate -workload onoff -capacity 2000mAh -c 1 -runs 1000 -until 6h -points 50
+//	batlife calibrate -capacity 2000mAh -c 0.625 -current 0.96A -target 90min
+//	batlife trace -capacity 2000mAh -c 0.625 -k 4.5e-5 -current 0.96A -freq 0.001 -until 4h
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "lifetime":
+		err = cmdLifetime(os.Args[2:])
+	case "cdf":
+		err = cmdCDF(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "calibrate":
+		err = cmdCalibrate(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "mean":
+		err = cmdMean(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "batlife: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batlife:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: batlife <subcommand> [flags]
+
+subcommands:
+  lifetime   analytic KiBaM lifetime under constant or square-wave load
+  cdf        lifetime distribution via the Markovian approximation
+  simulate   lifetime distribution via Monte-Carlo simulation
+  calibrate  fit the KiBaM flow constant k to a measured lifetime
+  trace      charge-well evolution under a square wave
+  mean       expected lifetime and stranded charge
+  compare    approximation vs simulation (vs exact when c = 1)
+
+run 'batlife <subcommand> -h' for flags
+`)
+}

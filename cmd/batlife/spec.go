@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"batlife/internal/ctmc"
+	"batlife/internal/kibam"
+	"batlife/internal/mrm"
+	"batlife/internal/units"
+	"batlife/internal/workload"
+)
+
+// workloadFlags selects a built-in workload or a JSON specification.
+type workloadFlags struct {
+	name *string
+	spec *string
+	freq *float64
+	k    *int
+	on   *string
+}
+
+func addWorkloadFlags(fs *flag.FlagSet) workloadFlags {
+	return workloadFlags{
+		name: fs.String("workload", "simple", "built-in workload: simple, burst, onoff (ignored with -spec)"),
+		spec: fs.String("spec", "", "path to a JSON workload specification"),
+		freq: fs.Float64("freq-onoff", 1, "on/off workload switching frequency in Hz"),
+		k:    fs.Int("erlang", 1, "on/off workload Erlang order"),
+		on:   fs.String("on-current", "0.96A", "on/off workload on-phase current"),
+	}
+}
+
+func (wf workloadFlags) model() (*workload.Model, error) {
+	if *wf.spec != "" {
+		return loadSpec(*wf.spec)
+	}
+	switch *wf.name {
+	case "simple":
+		return workload.Simple(workload.SimpleConfig{})
+	case "burst":
+		return workload.Burst(workload.BurstConfig{})
+	case "onoff":
+		cur, err := units.ParseCurrent(*wf.on)
+		if err != nil {
+			return nil, err
+		}
+		return workload.OnOff(*wf.freq, *wf.k, cur)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want simple, burst or onoff)", *wf.name)
+	}
+}
+
+func (wf workloadFlags) kibamrm(battery kibam.Params) (mrm.KiBaMRM, error) {
+	m, err := wf.model()
+	if err != nil {
+		return mrm.KiBaMRM{}, err
+	}
+	return mrm.KiBaMRM{
+		Workload: m.Chain,
+		Currents: m.Currents,
+		Initial:  m.Initial,
+		Battery:  battery,
+	}, nil
+}
+
+// specFile is the JSON schema for custom workloads:
+//
+//	{
+//	  "states": [
+//	    {"name": "idle", "current": "8mA"},
+//	    {"name": "send", "current": "200mA"}
+//	  ],
+//	  "transitions": [
+//	    {"from": "idle", "to": "send", "rate_per_hour": 2},
+//	    {"from": "send", "to": "idle", "rate_per_second": 0.00166}
+//	  ],
+//	  "initial": "idle"
+//	}
+type specFile struct {
+	States []struct {
+		Name    string `json:"name"`
+		Current string `json:"current"`
+	} `json:"states"`
+	Transitions []struct {
+		From          string  `json:"from"`
+		To            string  `json:"to"`
+		RatePerHour   float64 `json:"rate_per_hour"`
+		RatePerSecond float64 `json:"rate_per_second"`
+	} `json:"transitions"`
+	Initial string `json:"initial"`
+}
+
+func loadSpec(path string) (*workload.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read spec: %w", err)
+	}
+	var spec specFile
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("parse spec %s: %w", path, err)
+	}
+	if len(spec.States) == 0 {
+		return nil, fmt.Errorf("spec %s: no states", path)
+	}
+	var b ctmc.Builder
+	for _, s := range spec.States {
+		b.State(s.Name)
+	}
+	for _, tr := range spec.Transitions {
+		rate := tr.RatePerSecond
+		if tr.RatePerHour != 0 {
+			if rate != 0 {
+				return nil, fmt.Errorf("spec %s: transition %s->%s sets both rate units", path, tr.From, tr.To)
+			}
+			rate = units.PerHour(tr.RatePerHour).PerSecond()
+		}
+		b.Transition(tr.From, tr.To, rate)
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	currents := make([]float64, chain.NumStates())
+	for _, s := range spec.States {
+		cur, err := units.ParseCurrent(s.Current)
+		if err != nil {
+			return nil, fmt.Errorf("spec %s, state %s: %w", path, s.Name, err)
+		}
+		currents[chain.Index(s.Name)] = cur.Amperes()
+	}
+	init := chain.Index(spec.Initial)
+	if init < 0 {
+		return nil, fmt.Errorf("spec %s: unknown initial state %q", path, spec.Initial)
+	}
+	return &workload.Model{
+		Chain:    chain,
+		Currents: currents,
+		Initial:  chain.PointDistribution(init),
+	}, nil
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"batlife/internal/core"
+	"batlife/internal/kibam"
+	"batlife/internal/mrm"
+	"batlife/internal/rao"
+	"batlife/internal/sim"
+	"batlife/internal/units"
+	"batlife/internal/workload"
+)
+
+// paperBattery is the 2000 mAh cell of Table 1 and Figures 2, 8, 9.
+var paperBattery = kibam.Params{Capacity: 7200, C: 0.625, K: 4.5e-5}
+
+// onOffKiBaMRM builds the Figure 7/8/9 model: Erlang-K on/off workload
+// at 1 Hz drawing 0.96 A.
+func onOffKiBaMRM(battery kibam.Params) (mrm.KiBaMRM, error) {
+	w, err := workload.OnOff(1, 1, units.Amperes(0.96))
+	if err != nil {
+		return mrm.KiBaMRM{}, err
+	}
+	return mrm.KiBaMRM{
+		Workload: w.Chain,
+		Currents: w.Currents,
+		Initial:  w.Initial,
+		Battery:  battery,
+	}, nil
+}
+
+// wirelessKiBaMRM wraps a wireless workload model with a battery.
+func wirelessKiBaMRM(m *workload.Model, battery kibam.Params) mrm.KiBaMRM {
+	return mrm.KiBaMRM{
+		Workload: m.Chain,
+		Currents: m.Currents,
+		Initial:  m.Initial,
+		Battery:  battery,
+	}
+}
+
+// approxCurve solves the Markovian approximation at one step size.
+func approxCurve(model mrm.KiBaMRM, delta float64, times []float64) ([]float64, error) {
+	e, err := core.Build(model, delta, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.LifetimeCDF(times)
+	if err != nil {
+		return nil, err
+	}
+	return res.EmptyProb, nil
+}
+
+// runFig2 regenerates Figure 2: the evolution of the available- and
+// bound-charge wells under a square wave with f = 0.001 Hz, I = 0.96 A.
+func runFig2(w io.Writer, _ config) error {
+	points, err := paperBattery.Trace(kibam.SquareWave{On: 0.96, Frequency: 0.001}, 100, 13000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# paper: Figure 2 (y1/y2 in As vs seconds)")
+	fmt.Fprintln(w, "t_s\ty1_As\ty2_As")
+	for _, p := range points {
+		fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\n", p.T, p.Y1, p.Y2)
+	}
+	return nil
+}
+
+// runTable1 regenerates Table 1: lifetimes in minutes under continuous
+// and square-wave loads for the plain and modified KiBaM. The
+// experimental column quotes the measurements of Rao et al. [9] (no
+// hardware here; see DESIGN.md).
+func runTable1(w io.Writer, cfg config) error {
+	modK, err := rao.CalibrateK(7200, 0.625, 1, 0.96, 90*60)
+	if err != nil {
+		return err
+	}
+	modified := rao.Params{Capacity: 7200, C: 0.625, K: modK}
+	stochastic := rao.StochasticParams{Params: modified}
+	runs := cfg.runs / 20
+	if runs < 5 {
+		runs = 5
+	}
+
+	type row struct {
+		label   string
+		profile kibam.Profile
+		exp     float64 // minutes, from [9]
+	}
+	rows := []row{
+		{"continuous", kibam.ConstantLoad(0.96), 90},
+		{"1Hz", kibam.SquareWave{On: 0.96, Frequency: 1}, 193},
+		{"0.2Hz", kibam.SquareWave{On: 0.96, Frequency: 0.2}, 230},
+	}
+	fmt.Fprintln(w, "# paper: Table 1 (lifetimes in minutes; experimental column quoted from Rao et al. [9])")
+	fmt.Fprintf(w, "# paper values: KiBaM 91/203/203, modified stochastic 90/193/226, modified numerical 89/193/193\n")
+	fmt.Fprintln(w, "frequency\texperimental_min\tkibam_min\tmodified_stochastic_min\tmodified_numerical_min")
+	for _, r := range rows {
+		plain, err := paperBattery.Lifetime(r.profile)
+		if err != nil {
+			return err
+		}
+		numeric, err := modified.Lifetime(r.profile)
+		if err != nil {
+			return err
+		}
+		stochMean, _, err := stochastic.MeanLifetime(1, runs, r.profile)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.label, r.exp, plain/60, stochMean/60, numeric/60)
+	}
+	return nil
+}
+
+// runFig7 regenerates Figure 7: the on/off lifetime distribution with
+// the degenerate KiBaM (c = 1, k = 0) for several step sizes, against
+// simulation.
+func runFig7(w io.Writer, cfg config) error {
+	model, err := onOffKiBaMRM(kibam.Params{Capacity: 7200, C: 1, K: 0})
+	if err != nil {
+		return err
+	}
+	times := timesRange(6000, 20000, 250)
+	deltas := []float64{100, 50, 25, 5}
+	names := make([]string, 0, len(deltas)+1)
+	curves := make([][]float64, 0, len(deltas)+1)
+	for _, d := range deltas {
+		c, err := approxCurve(model, d, times)
+		if err != nil {
+			return err
+		}
+		names = append(names, fmt.Sprintf("delta=%g", d))
+		curves = append(curves, c)
+	}
+	simCurve, err := sim.CurveAt(model, 1, sim.Options{Runs: cfg.runs}, times)
+	if err != nil {
+		return err
+	}
+	names = append(names, "simulation")
+	curves = append(curves, simCurve)
+	fmt.Fprintln(w, "# paper: Figure 7 (f=1Hz, K=1, C=7200As, c=1, k=0)")
+	return writeCurves(w, "t_s", times, 1, names, curves)
+}
+
+// runFig8 regenerates Figure 8: the on/off lifetime distribution with
+// the full KiBaM (c = 0.625, k = 4.5e-5). The paper's Δ = 10 and Δ = 5
+// grids have 10^5–10^6 states and are enabled by -full.
+func runFig8(w io.Writer, cfg config) error {
+	model, err := onOffKiBaMRM(paperBattery)
+	if err != nil {
+		return err
+	}
+	times := timesRange(6000, 20000, 250)
+	deltas := []float64{100, 50, 25}
+	if cfg.full {
+		deltas = append(deltas, 10, 5)
+	}
+	names := make([]string, 0, len(deltas)+1)
+	curves := make([][]float64, 0, len(deltas)+1)
+	for _, d := range deltas {
+		start := time.Now()
+		c, err := approxCurve(model, d, times)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# delta=%g solved in %v\n", d, time.Since(start).Round(time.Millisecond))
+		names = append(names, fmt.Sprintf("delta=%g", d))
+		curves = append(curves, c)
+	}
+	simCurve, err := sim.CurveAt(model, 1, sim.Options{Runs: cfg.runs}, times)
+	if err != nil {
+		return err
+	}
+	names = append(names, "simulation")
+	curves = append(curves, simCurve)
+	fmt.Fprintln(w, "# paper: Figure 8 (f=1Hz, K=1, C=7200As, c=0.625, k=4.5e-5)")
+	return writeCurves(w, "t_s", times, 1, names, curves)
+}
+
+// runFig9 regenerates Figure 9: lifetime distributions for three
+// initial-capacity configurations. The paper uses Δ = 5 for all three;
+// the two-well case falls back to Δ = 25 unless -full is given.
+func runFig9(w io.Writer, cfg config) error {
+	times := timesRange(6000, 20000, 250)
+	type scenario struct {
+		label   string
+		battery kibam.Params
+		delta   float64
+	}
+	twoWellDelta := 25.0
+	if cfg.full {
+		twoWellDelta = 5
+	}
+	scenarios := []scenario{
+		{"C=4500,c=1", kibam.Params{Capacity: 4500, C: 1, K: 0}, 5},
+		{"C=7200,c=0.625", paperBattery, twoWellDelta},
+		{"C=7200,c=1", kibam.Params{Capacity: 7200, C: 1, K: 0}, 5},
+	}
+	var names []string
+	var curves [][]float64
+	for _, s := range scenarios {
+		model, err := onOffKiBaMRM(s.battery)
+		if err != nil {
+			return err
+		}
+		c, err := approxCurve(model, s.delta, times)
+		if err != nil {
+			return err
+		}
+		names = append(names, fmt.Sprintf("%s(delta=%g)", s.label, s.delta))
+		curves = append(curves, c)
+	}
+	fmt.Fprintln(w, "# paper: Figure 9 (on/off model, different initial capacities)")
+	return writeCurves(w, "t_s", times, 1, names, curves)
+}

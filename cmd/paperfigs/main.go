@@ -1,0 +1,168 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation as tab-separated data series.
+//
+// Usage:
+//
+//	paperfigs -exp fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibration|all
+//	          [-full] [-runs N] [-out dir]
+//
+// With -out, each experiment is written to <dir>/<exp>.tsv; otherwise
+// everything goes to standard output. -full selects the paper's exact
+// (and expensive) step sizes for the two-well grids — Δ = 5 As grids
+// have about a million states and dominate the runtime, exactly as the
+// paper's Section 5.3 predicts; the default resolution completes in a
+// few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(w io.Writer, cfg config) error
+}
+
+type config struct {
+	full bool
+	runs int
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exps := []experiment{
+		{"fig2", "charge-well evolution under a 0.001 Hz square wave", runFig2},
+		{"table1", "experimental vs KiBaM vs modified-KiBaM lifetimes", runTable1},
+		{"fig7", "on/off lifetime distribution, degenerate KiBaM (c=1)", runFig7},
+		{"fig8", "on/off lifetime distribution, full KiBaM (c=0.625)", runFig8},
+		{"fig9", "on/off lifetime distributions for three initial-capacity splits", runFig9},
+		{"fig10", "simple-model lifetime distributions for three battery settings", runFig10},
+		{"fig11", "simple vs burst model lifetime distribution", runFig11},
+		{"complexity", "expanded-chain sizes and iteration counts (Sections 5.3, 6.1)", runComplexity},
+		{"calibration", "burst-rate and flow-constant calibration (Sections 3, 4.3)", runCalibration},
+		{"erlangk", "extension: Erlang-K on/off curves the paper describes but omits", runErlangK},
+		{"stranded", "extension: bound charge stranded at depletion", runStranded},
+		{"baselines", "extension: ideal/Peukert/KiBaM/modified-KiBaM comparison", runBaselines},
+		{"voltage", "extension: cut-off-voltage lifetimes across load shapes", runVoltage},
+	}
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.name
+	}
+	sort.Strings(names)
+
+	var (
+		expFlag  = flag.String("exp", "all", "experiment to run: all, or one of "+joinComma(names))
+		fullFlag = flag.Bool("full", false, "use the paper's exact step sizes (slow for the two-well grids)")
+		runsFlag = flag.Int("runs", 1000, "simulation runs per curve")
+		outFlag  = flag.String("out", "", "directory for per-experiment .tsv files (default: stdout)")
+	)
+	flag.Parse()
+	cfg := config{full: *fullFlag, runs: *runsFlag}
+	if cfg.runs <= 0 {
+		return fmt.Errorf("-runs must be positive, got %d", cfg.runs)
+	}
+
+	selected := exps[:0:0]
+	for _, e := range exps {
+		if *expFlag == "all" || *expFlag == e.name {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown experiment %q; choose all or one of %s", *expFlag, joinComma(names))
+	}
+
+	for _, e := range selected {
+		w := io.Writer(os.Stdout)
+		var closeFn func() error
+		if *outFlag != "" {
+			if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+				return fmt.Errorf("create output dir: %w", err)
+			}
+			f, err := os.Create(filepath.Join(*outFlag, e.name+".tsv"))
+			if err != nil {
+				return fmt.Errorf("create output file: %w", err)
+			}
+			w = f
+			closeFn = f.Close
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "# %s: %s\n", e.name, e.desc)
+		err := e.run(w, cfg)
+		fmt.Fprintf(os.Stderr, "%-12s %8s  %v\n", e.name, time.Since(start).Round(time.Millisecond), errString(err))
+		if closeFn != nil {
+			if cerr := closeFn(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.name, err)
+		}
+	}
+	return nil
+}
+
+func errString(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "ok"
+}
+
+func joinComma(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// timesRange returns {start, start+step, ..., end}.
+func timesRange(start, end, step float64) []float64 {
+	var out []float64
+	for t := start; t <= end+1e-9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// writeCurves prints a TSV table: the first column is the time axis
+// (scaled by axisScale, e.g. 1/3600 for hours), followed by one column
+// per named curve.
+func writeCurves(w io.Writer, axisName string, axis []float64, axisScale float64, names []string, curves [][]float64) error {
+	if _, err := fmt.Fprintf(w, "%s", axisName); err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "\t%s", n)
+	}
+	fmt.Fprintln(w)
+	for i, t := range axis {
+		fmt.Fprintf(w, "%s", strconv.FormatFloat(t*axisScale, 'g', 8, 64))
+		for _, c := range curves {
+			fmt.Fprintf(w, "\t%s", strconv.FormatFloat(c[i], 'f', 6, 64))
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

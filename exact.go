@@ -1,0 +1,40 @@
+package batlife
+
+import (
+	"fmt"
+
+	"batlife/internal/mrm"
+	"batlife/internal/performability"
+)
+
+// ExactLifetimeCDF computes the exact lifetime CDF Pr{battery empty at
+// t} for a battery with all charge available (AvailableFraction = 1,
+// where the battery empties exactly when the accumulated energy reaches
+// the capacity) under the stochastic workload. It evaluates the
+// performability distribution of the accumulated-energy Markov reward
+// model through the transform domain, accurate to roughly 1e-8.
+//
+// For two-well batteries (AvailableFraction < 1) there is no exact
+// method; use LifetimeDistribution with a small delta instead.
+func ExactLifetimeCDF(b Battery, w *Workload, times []float64) ([]float64, error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if b.AvailableFraction != 1 {
+		return nil, fmt.Errorf("%w: exact solution requires AvailableFraction = 1, got %v",
+			ErrBadArgument, b.AvailableFraction)
+	}
+	model := mrm.ConstantReward{
+		Chain:   w.model.Chain,
+		Rates:   w.model.Currents,
+		Initial: w.model.Initial,
+	}
+	probs, err := performability.EnergyDepletionCDF(model, b.CapacityAs, times)
+	if err != nil {
+		return nil, fmt.Errorf("batlife: %w", err)
+	}
+	return probs, nil
+}

@@ -1,0 +1,105 @@
+// Sensornet: dimension the reporting rate of a sensor node.
+//
+//	go run ./examples/sensornet
+//
+// A battery-powered environmental sensor sleeps, wakes for measurement-
+// and-report sessions, and occasionally keeps its radio listening for
+// firmware updates. The designer controls the session rate; more
+// frequent sessions give fresher data but shorter battery life. This
+// example builds a custom workload with the public API and sweeps the
+// session rate, reporting the 10%-quantile lifetime (the "warranty"
+// number: 90% of deployed nodes live at least this long) from
+// simulation, cross-checked at one point against the Markovian
+// approximation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batlife"
+)
+
+// node builds the sensor workload: deep sleep (modelled as 0 A), a
+// measurement-and-report session (12 mA for ~2 minutes, radio duty
+// cycle included), and a rare long listen window for firmware updates
+// (15 mA for ~10 minutes, once a day on average). sessionsPerHour
+// controls the sleep→session rate.
+func node(sessionsPerHour float64) (*batlife.Workload, error) {
+	perHour := func(r float64) float64 { return r / 3600 }
+	return batlife.NewWorkload(
+		[]batlife.StateSpec{
+			{Name: "sleep", CurrentA: 0},
+			{Name: "session", CurrentA: 0.012},
+			{Name: "listen", CurrentA: 0.015},
+		},
+		[]batlife.TransitionSpec{
+			{From: "sleep", To: "session", RatePerSec: perHour(sessionsPerHour)},
+			{From: "session", To: "sleep", RatePerSec: 1.0 / 120},
+			{From: "sleep", To: "listen", RatePerSec: perHour(1.0 / 24)},
+			{From: "listen", To: "sleep", RatePerSec: 1.0 / 600},
+		},
+		"sleep",
+	)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sensornet: ")
+
+	// A pair of AA cells, 2600 mAh. Primary cells show a strong
+	// recovery effect: c = 0.55, k fitted so that a continuous 12 mA
+	// load (radio always on) lasts 7 days.
+	base := batlife.Battery{
+		CapacityAs:        batlife.MilliampHours(2600),
+		AvailableFraction: 0.55,
+	}
+	k, err := base.CalibrateFlowRate(0.012, 7*86400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.FlowRate = k
+	fmt.Printf("battery: 2600 mAh, c = %.2f, fitted k = %.2e /s\n\n", base.AvailableFraction, k)
+
+	fmt.Println("sessions/h   mean draw    mean life    p10 life   Pr[dead in 60 days]")
+	for _, rate := range []float64{1, 2, 4, 8} {
+		w, err := node(rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, err := w.MeanCurrent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples, err := batlife.Simulate(base, w, batlife.SimulateOptions{
+			Runs: 300,
+			Seed: 7,
+			// Deeply duty-cycled nodes can live for years; censor at two.
+			MaxTimeSeconds: 2 * 365 * 86400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mLife, err := samples.Mean()
+		if err != nil {
+			log.Fatal(err)
+		}
+		q10, err := samples.Quantile(0.10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Cross-check one point with the Markovian approximation.
+		day60 := 60 * 24 * 3600.0
+		res, err := batlife.LifetimeDistribution(base, w, batlife.MilliampHours(26), []float64{day60})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %4.0f     %7.3f mA   %7.1f d   %7.1f d        %6.1f%%\n",
+			rate, mean*1000, mLife/86400, q10/86400, 100*res.EmptyProb[0])
+	}
+	fmt.Println("\n(mean and p10 life from 300 simulation runs; the 60-day probability")
+	fmt.Println(" from the Markovian approximation at delta = 26 mAh — independent methods.")
+	fmt.Println(" Note the approximation spreads the nearly-deterministic lifetime: a")
+	fmt.Println(" phase-type distribution at coarse delta smears the transition region,")
+	fmt.Println(" the effect the paper discusses with Figure 7. Decrease delta to tighten.)")
+}

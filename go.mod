@@ -1,0 +1,3 @@
+module batlife
+
+go 1.22

@@ -1,0 +1,306 @@
+// Package core implements the paper's contribution: the Markovian
+// approximation algorithm of Section 5, which computes the battery
+// lifetime distribution of a KiBaMRM — a reward-inhomogeneous Markov
+// reward model whose two accumulated rewards are the charge wells of the
+// Kinetic Battery Model.
+//
+// The uncountable state space S × [0, u1] × [0, u2] of the MRM is broken
+// down to a finite grid with step Δ: a state (i, j1, j2) of the derived
+// pure CTMC means the workload is in state i, the available charge lies
+// in (j1Δ, (j1+1)Δ] and the bound charge in (j2Δ, (j2+1)Δ]. Three kinds
+// of transitions arise (Section 5.2):
+//
+//   - workload transitions (i, j1, j2) → (i′, j1, j2) with the original
+//     rate Q_{i,i′}(j1Δ, j2Δ);
+//   - consumption (i, j1, j2) → (i, j1−1, j2) with rate I_i/Δ;
+//   - bound-to-available transfer (i, j1, j2) → (i, j1+1, j2−1) with
+//     rate k(h2 − h1)/Δ = k(j2/(1−c) − j1/c).
+//
+// States with j1 = 0 are absorbing — the battery is empty, and the
+// lifetime is defined as the first time this happens — so the battery
+// lifetime distribution Pr{battery empty at t} is the transient
+// probability mass on the j1 = 0 slice, obtained by uniformisation. The
+// approximation is a phase-type distribution that converges to the true
+// lifetime distribution as Δ → 0.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"batlife/internal/ctmc"
+	"batlife/internal/mrm"
+	"batlife/internal/sparse"
+)
+
+// ErrBadGrid reports an unusable discretisation step.
+var ErrBadGrid = errors.New("core: invalid discretisation")
+
+// Options tunes the construction and solution of the expanded CTMC.
+type Options struct {
+	// Epsilon bounds the truncated Poisson tail mass of the transient
+	// solve; zero selects 1e-12.
+	Epsilon float64
+	// Workers sets the SpMV parallelism; zero selects runtime.NumCPU().
+	Workers int
+	// AllowEmptyRecovery keeps the j1 = 0 states live instead of
+	// absorbing. The paper makes them absorbing (lifetime = first
+	// passage) but notes "the recovery transitions could easily be
+	// included"; this flag includes them, turning the computed measure
+	// into Pr{battery empty at time t} without the first-passage
+	// interpretation.
+	AllowEmptyRecovery bool
+	// TransitionRate, when non-nil, overrides the workload generator
+	// with a reward-dependent rate Q_{i,i′}(y1, y2), evaluated at the
+	// grid point (j1Δ, j2Δ). Entries for which the underlying chain has
+	// no transition are not consulted; return the given base rate to
+	// leave a transition unchanged.
+	TransitionRate func(from, to int, y1, y2, base float64) float64
+	// OnIteration is forwarded to the uniformisation engine.
+	OnIteration func(done, total int)
+}
+
+// Expanded is the derived pure CTMC Q* for one model and step size.
+type Expanded struct {
+	model mrm.KiBaMRM
+	delta float64
+	// n1, n2 are the level counts of the two reward dimensions.
+	n1, n2 int
+	gen    *sparse.CSR
+	alpha  []float64
+	opts   Options
+}
+
+// Build discretises the model's reward space with step delta (in
+// ampere-seconds) and assembles the expanded generator. The step must
+// divide both well capacities c·C and (1−c)·C.
+func Build(model mrm.KiBaMRM, delta float64, opts Options) (*Expanded, error) {
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if delta <= 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return nil, fmt.Errorf("%w: delta %v", ErrBadGrid, delta)
+	}
+	u1 := model.Battery.C * model.Battery.Capacity
+	u2 := (1 - model.Battery.C) * model.Battery.Capacity
+	m1, ok1 := exactDiv(u1, delta)
+	m2, ok2 := exactDiv(u2, delta)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("%w: delta %v does not divide the well capacities %v and %v",
+			ErrBadGrid, delta, u1, u2)
+	}
+	e := &Expanded{
+		model: model,
+		delta: delta,
+		n1:    m1 + 1,
+		n2:    m2 + 1,
+		opts:  opts,
+	}
+	if err := e.assemble(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// exactDiv returns x/d as an integer if d divides x (within rounding).
+func exactDiv(x, d float64) (int, bool) {
+	q := x / d
+	r := math.Round(q)
+	if math.Abs(q-r) > 1e-9*(1+math.Abs(q)) {
+		return 0, false
+	}
+	return int(r), true
+}
+
+// index maps (i, j1, j2) to the flat state index.
+func (e *Expanded) index(i, j1, j2 int) int {
+	n := e.model.Workload.NumStates()
+	return (j1*e.n2+j2)*n + i
+}
+
+// assemble builds the generator Q* and the initial distribution α*.
+func (e *Expanded) assemble() error {
+	n := e.model.Workload.NumStates()
+	total := n * e.n1 * e.n2
+	k := e.model.Battery.K
+	c := e.model.Battery.C
+	delta := e.delta
+
+	// Initial distribution: the battery starts full, a1 = c·C falls in
+	// the interval (j1Δ, (j1+1)Δ] with j1 = u1/Δ − 1, and likewise for
+	// the bound well (j2 = 0 when there is no bound well).
+	j1init := e.n1 - 2
+	if e.n1 < 3 {
+		return fmt.Errorf("%w: available well resolves to %d levels; decrease delta", ErrBadGrid, e.n1)
+	}
+	j2init := e.n2 - 2
+	if e.n2 == 1 {
+		j2init = 0
+	}
+	e.alpha = make([]float64, total)
+	for i := 0; i < n; i++ {
+		e.alpha[e.index(i, j1init, j2init)] = e.model.Initial[i]
+	}
+
+	// Estimate nonzeros: per live state one consumption, one transfer,
+	// the workload row and a diagonal.
+	workloadNNZ := e.model.Workload.Generator().NNZ()
+	b := sparse.NewBuilder(total, total, e.n1*e.n2*(workloadNNZ+2*n)+total)
+
+	for j1 := 0; j1 < e.n1; j1++ {
+		if j1 == 0 && !e.opts.AllowEmptyRecovery {
+			continue // battery empty: absorbing, no outgoing transitions
+		}
+		y1 := float64(j1) * delta
+		for j2 := 0; j2 < e.n2; j2++ {
+			y2 := float64(j2) * delta
+			// Transfer rate between wells at this grid point, the
+			// paper's k(j2/(1−c) − j1/c).
+			transfer := 0.0
+			if k > 0 && c < 1 && j2 > 0 {
+				transfer = k * (y2/(1-c) - y1/c) / delta
+				if transfer < 0 {
+					transfer = 0
+				}
+			}
+			for i := 0; i < n; i++ {
+				from := e.index(i, j1, j2)
+				diag := 0.0
+				// Workload transitions at fixed reward levels.
+				e.model.Workload.Generator().Row(i, func(col int, v float64) {
+					if col == i || v <= 0 {
+						return
+					}
+					rate := v
+					if e.opts.TransitionRate != nil {
+						rate = e.opts.TransitionRate(i, col, y1, y2, v)
+						if rate < 0 || math.IsNaN(rate) {
+							rate = 0
+						}
+					}
+					if rate == 0 {
+						return
+					}
+					b.Add(from, e.index(col, j1, j2), rate)
+					diag -= rate
+				})
+				// Consumption: one level down in the available well.
+				// Charging states (negative current, AllowCharging)
+				// instead move one level up; surplus at the top level
+				// is discarded.
+				if current := e.model.Currents[i]; current > 0 && j1 > 0 {
+					b.Add(from, e.index(i, j1-1, j2), current/delta)
+					diag -= current / delta
+				} else if current < 0 && j1 < e.n1-1 {
+					b.Add(from, e.index(i, j1+1, j2), -current/delta)
+					diag -= -current / delta
+				}
+				// Transfer: up in the available well, down in the bound
+				// well.
+				if transfer > 0 && j1 < e.n1-1 {
+					b.Add(from, e.index(i, j1+1, j2-1), transfer)
+					diag -= transfer
+				}
+				if diag != 0 {
+					b.Add(from, from, diag)
+				}
+			}
+		}
+	}
+	gen, err := b.Freeze()
+	if err != nil {
+		return fmt.Errorf("core: assemble Q*: %w", err)
+	}
+	e.gen = gen
+	return nil
+}
+
+// NumStates reports the size of the expanded state space N·n1·n2.
+func (e *Expanded) NumStates() int {
+	return e.model.Workload.NumStates() * e.n1 * e.n2
+}
+
+// NNZ reports the number of nonzero generator entries.
+func (e *Expanded) NNZ() int { return e.gen.NNZ() }
+
+// Levels reports the level counts (n1, n2) of the two reward grids.
+func (e *Expanded) Levels() (int, int) { return e.n1, e.n2 }
+
+// Delta reports the discretisation step.
+func (e *Expanded) Delta() float64 { return e.delta }
+
+// Generator exposes the expanded generator for inspection and ablation
+// experiments. Callers must not modify it.
+func (e *Expanded) Generator() *sparse.CSR { return e.gen }
+
+// Result is a computed battery lifetime distribution.
+type Result struct {
+	// Times are the evaluation points, in seconds.
+	Times []float64
+	// EmptyProb[k] approximates Pr{battery empty at Times[k]}.
+	EmptyProb []float64
+	// Iterations is the number of uniformisation steps performed.
+	Iterations int
+	// Rate is the uniformisation constant of the expanded chain.
+	Rate float64
+	// States and NNZ echo the expanded chain size.
+	States, NNZ int
+}
+
+// LifetimeCDF computes Pr{battery empty at t} — the approximation of
+// equation (4) — at each of the given times (seconds, ascending).
+func (e *Expanded) LifetimeCDF(times []float64) (*Result, error) {
+	n := e.model.Workload.NumStates()
+	w := make([]float64, e.NumStates())
+	for j2 := 0; j2 < e.n2; j2++ {
+		for i := 0; i < n; i++ {
+			w[e.index(i, 0, j2)] = 1
+		}
+	}
+	res, err := ctmc.TransientFunctional(e.gen, e.alpha, w, times, ctmc.TransientOptions{
+		Epsilon:     e.opts.Epsilon,
+		Workers:     e.opts.Workers,
+		OnIteration: e.opts.OnIteration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: lifetime CDF: %w", err)
+	}
+	probs := res.Values
+	for k, p := range probs {
+		// Uniformisation guarantees probabilities up to rounding;
+		// clamp the usual ±1e-15 noise.
+		probs[k] = math.Min(1, math.Max(0, p))
+	}
+	return &Result{
+		Times:      res.Times,
+		EmptyProb:  probs,
+		Iterations: res.Iterations,
+		Rate:       res.Rate,
+		States:     e.NumStates(),
+		NNZ:        e.NNZ(),
+	}, nil
+}
+
+// StateDistribution returns the marginal distribution over available-
+// charge levels at time t: out[j1] = Pr{Y1(t) ∈ level j1}. Useful for
+// inspecting how probability mass drains toward the empty slice.
+func (e *Expanded) StateDistribution(t float64) ([]float64, error) {
+	res, err := ctmc.TransientDistributions(e.gen, e.alpha, []float64{t}, ctmc.TransientOptions{
+		Epsilon: e.opts.Epsilon,
+		Workers: e.opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: state distribution: %w", err)
+	}
+	n := e.model.Workload.NumStates()
+	out := make([]float64, e.n1)
+	for j1 := 0; j1 < e.n1; j1++ {
+		for j2 := 0; j2 < e.n2; j2++ {
+			for i := 0; i < n; i++ {
+				out[j1] += res.Distributions[0][e.index(i, j1, j2)]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batlife/internal/sim"
+)
+
+func TestMeanLifetimeErlangClosedForm(t *testing.T) {
+	// Single always-on state, c = 1: absorption needs C/Δ − 1 jumps at
+	// rate I/Δ, so E[L] = (C − Δ)/I exactly.
+	const capacity, current, delta = 1000.0, 2.0, 50.0
+	e, err := Build(alwaysOnModel(t, capacity, current), delta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := e.MeanLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (capacity - delta) / current
+	if math.Abs(mean-want) > 1e-6*want {
+		t.Errorf("mean lifetime = %v, want %v", mean, want)
+	}
+}
+
+func TestMeanLifetimeMatchesCDFIntegral(t *testing.T) {
+	// E[L] = ∫ (1 − F(t)) dt; both sides computed on the same expanded
+	// chain must agree to quadrature accuracy.
+	e, err := Build(onOffModel(t, 0.625, 4.5e-5), 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := e.MeanLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	const step = 250.0
+	for tm := step; tm <= 30000; tm += step {
+		times = append(times, tm)
+	}
+	res, err := e.LifetimeCDF(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := 0.0
+	prev := 0.0
+	for i, tm := range times {
+		integral += (tm - prev) * (1 - res.EmptyProb[i])
+		prev = tm
+	}
+	if math.Abs(mean-integral) > 0.02*mean {
+		t.Errorf("mean lifetime %v vs CDF integral %v", mean, integral)
+	}
+}
+
+func TestMeanLifetimeAgainstSimulation(t *testing.T) {
+	model := onOffModel(t, 0.625, 4.5e-5)
+	e, err := Build(model, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := e.MeanLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecdf, err := sim.Lifetimes(model, 5, sim.Options{Runs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMean, err := ecdf.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coarse grid biases the approximation early by O(Δ/I · n-ish);
+	// 5% is ample at Δ = 100.
+	if math.Abs(mean-simMean) > 0.05*simMean {
+		t.Errorf("approximation mean %v vs simulation mean %v", mean, simMean)
+	}
+}
+
+func TestMeanLifetimeDecreasingInDelta(t *testing.T) {
+	// The grid rounds charge down, so coarser grids die earlier; the
+	// mean must increase monotonically as Δ shrinks.
+	prev := 0.0
+	for _, delta := range []float64{600, 300, 100} {
+		e, err := Build(onOffModel(t, 1, 0), delta, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, err := e.MeanLifetime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean <= prev {
+			t.Errorf("delta=%v: mean %v not above previous %v", delta, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestMeanLifetimeErrNoAbsorption(t *testing.T) {
+	m := onOffModel(t, 0.625, 4.5e-5)
+	e, err := Build(m, 900, Options{AllowEmptyRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MeanLifetime(); !errors.Is(err, ErrNoAbsorption) {
+		t.Errorf("recovery model: err = %v, want ErrNoAbsorption", err)
+	}
+	zero := m
+	zero.Currents = []float64{0, 0}
+	e2, err := Build(zero, 900, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.MeanLifetime(); !errors.Is(err, ErrNoAbsorption) {
+		t.Errorf("zero-current model: err = %v, want ErrNoAbsorption", err)
+	}
+}
+
+func TestChargeAtInitialState(t *testing.T) {
+	e, err := Build(onOffModel(t, 0.625, 4.5e-5), 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.ChargeAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial cell is (n1-2, n2-2): midpoints 4500 − Δ/2, 2700 − Δ/2.
+	if math.Abs(m.MeanAvailable-(4500-50)) > 1e-6 {
+		t.Errorf("initial available mean = %v", m.MeanAvailable)
+	}
+	if math.Abs(m.MeanBound-(2700-50)) > 1e-6 {
+		t.Errorf("initial bound mean = %v", m.MeanBound)
+	}
+	if m.StdAvailable > 1e-6 || m.EmptyProb != 0 {
+		t.Errorf("initial spread %v / empty %v", m.StdAvailable, m.EmptyProb)
+	}
+}
+
+func TestChargeAtDrainsMonotonically(t *testing.T) {
+	e, err := Build(onOffModel(t, 0.625, 4.5e-5), 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevAvail, prevTotal := math.Inf(1), math.Inf(1)
+	for _, tm := range []float64{2000, 6000, 10000, 14000} {
+		m, err := e.ChargeAt(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MeanAvailable >= prevAvail {
+			t.Errorf("t=%v: available mean %v did not decrease", tm, m.MeanAvailable)
+		}
+		total := m.MeanAvailable + m.MeanBound
+		if total >= prevTotal {
+			t.Errorf("t=%v: total mean %v did not decrease", tm, total)
+		}
+		prevAvail, prevTotal = m.MeanAvailable, total
+	}
+}
+
+func TestChargeAtLateTimes(t *testing.T) {
+	e, err := Build(onOffModel(t, 0.625, 4.5e-5), 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.ChargeAt(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EmptyProb < 0.999 {
+		t.Errorf("empty prob at 40000 = %v", m.EmptyProb)
+	}
+	if m.MeanAvailable > 1 {
+		t.Errorf("available mean after depletion = %v", m.MeanAvailable)
+	}
+	// Stranded bound charge remains positive and consistent with the
+	// wasted-charge measure up to midpoint-vs-interval conventions
+	// (ChargeAt places level j2 at its midpoint (j2+0.5)Δ, WastedCharge
+	// at (j2+0.5)Δ too, but the latter conditions on absorption).
+	wc, err := e.WastedChargeDistribution(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MeanBound-wc.Mean()*wc.AbsorbedMass) > e.Delta() {
+		t.Errorf("bound mean %v vs wasted mean %v", m.MeanBound, wc.Mean())
+	}
+}
+
+func TestChargeAtVariancePeaksMidLife(t *testing.T) {
+	e, err := Build(onOffModel(t, 1, 0), 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := e.ChargeAt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := e.ChargeAt(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := e.ChargeAt(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mid.StdAvailable > early.StdAvailable && mid.StdAvailable > late.StdAvailable) {
+		t.Errorf("std dev not peaked mid-life: %v, %v, %v",
+			early.StdAvailable, mid.StdAvailable, late.StdAvailable)
+	}
+}
+
+func TestWastedChargeDegenerate(t *testing.T) {
+	// c = 1: there is no bound well; the stranded charge is the single
+	// level 0 with certainty.
+	e, err := Build(onOffModel(t, 1, 0), 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := e.WastedChargeDistribution(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Levels) != 1 || math.Abs(wc.Levels[0]-1) > 1e-9 {
+		t.Errorf("levels = %v", wc.Levels)
+	}
+	if wc.AbsorbedMass < 0.999 {
+		t.Errorf("absorbed mass = %v at t=40000", wc.AbsorbedMass)
+	}
+}
+
+func TestWastedChargeTwoWell(t *testing.T) {
+	model := onOffModel(t, 0.625, 4.5e-5)
+	e, err := Build(model, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := e.WastedChargeDistribution(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.AbsorbedMass < 0.999 {
+		t.Fatalf("absorbed mass = %v at t=40000", wc.AbsorbedMass)
+	}
+	sum := 0.0
+	for _, p := range wc.Levels {
+		if p < -1e-12 {
+			t.Fatalf("negative level probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("conditional distribution sums to %v", sum)
+	}
+	mean := wc.Mean()
+	if mean <= 0 || mean >= (1-0.625)*7200 {
+		t.Fatalf("mean stranded charge = %v As", mean)
+	}
+	// Cross-validate against the simulator's stranded-charge samples.
+	res, err := sim.Run(model, 3, sim.Options{Runs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMean, err := res.WastedCharge.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid bias: the approximation rounds y2 down by up to Δ and kills
+	// the battery early (more charge stranded); allow a wide band.
+	if math.Abs(mean-simMean) > 0.25*simMean+100 {
+		t.Errorf("approximation stranded mean %v vs simulation %v", mean, simMean)
+	}
+}
+
+func TestWastedChargeLessWithSlowerDrain(t *testing.T) {
+	// A lighter load gives the bound charge more time to flow over, so
+	// less capacity is stranded.
+	heavy := onOffModel(t, 0.625, 4.5e-5)
+	light := heavy
+	light.Currents = []float64{0.24, 0}
+	eh, err := Build(heavy, 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := Build(light, 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := eh.WastedChargeDistribution(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := el.WastedChargeDistribution(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Mean() >= wh.Mean() {
+		t.Errorf("light-load stranded %v not below heavy-load %v", wl.Mean(), wh.Mean())
+	}
+}

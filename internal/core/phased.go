@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"batlife/internal/ctmc"
+	"batlife/internal/mrm"
+)
+
+// ErrPhaseMismatch reports phased models that cannot be chained.
+var ErrPhaseMismatch = errors.New("core: phased models are incompatible")
+
+// ModelPhase is one segment of a time-inhomogeneous battery scenario: a
+// KiBaMRM in force for Duration seconds. Successive phases must share
+// the workload state space and the battery, so that the expanded chains
+// have identical grids and the probability vector can be handed from
+// one phase to the next — e.g. a device with a heavy daytime and a
+// light nighttime profile.
+type ModelPhase struct {
+	// Model is the workload/battery coupling during this phase. Only
+	// the workload rates and currents may differ between phases.
+	Model mrm.KiBaMRM
+	// Duration is the phase length in seconds; the final phase may be
+	// +Inf.
+	Duration float64
+}
+
+// PhasedLifetimeCDF computes Pr{battery empty at t} for a scenario that
+// switches between workload models at fixed instants (the paper's
+// time-inhomogeneous MRMs of Section 4.1, in piecewise-constant form).
+// All phases are discretised with the same step delta.
+func PhasedLifetimeCDF(phases []ModelPhase, delta float64, times []float64, opts Options) (*Result, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("%w: no phases", ErrPhaseMismatch)
+	}
+	first, err := Build(phases[0].Model, delta, opts)
+	if err != nil {
+		return nil, err
+	}
+	chainPhases := make([]ctmc.Phase, len(phases))
+	chainPhases[0] = ctmc.Phase{Generator: first.gen, Duration: phases[0].Duration}
+	for i, ph := range phases[1:] {
+		if err := checkPhaseCompat(phases[0].Model, ph.Model); err != nil {
+			return nil, fmt.Errorf("phase %d: %w", i+1, err)
+		}
+		e, err := Build(ph.Model, delta, opts)
+		if err != nil {
+			return nil, fmt.Errorf("phase %d: %w", i+1, err)
+		}
+		chainPhases[i+1] = ctmc.Phase{Generator: e.gen, Duration: ph.Duration}
+	}
+
+	n := phases[0].Model.Workload.NumStates()
+	w := make([]float64, first.NumStates())
+	for j2 := 0; j2 < first.n2; j2++ {
+		for i := 0; i < n; i++ {
+			w[first.index(i, 0, j2)] = 1
+		}
+	}
+	res, err := ctmc.PiecewiseTransientFunctional(chainPhases, first.alpha, w, times, ctmc.TransientOptions{
+		Epsilon:     opts.Epsilon,
+		Workers:     opts.Workers,
+		OnIteration: opts.OnIteration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: phased lifetime CDF: %w", err)
+	}
+	probs := res.Values
+	for k, p := range probs {
+		probs[k] = math.Min(1, math.Max(0, p))
+	}
+	return &Result{
+		Times:      res.Times,
+		EmptyProb:  probs,
+		Iterations: res.Iterations,
+		Rate:       res.Rate,
+		States:     first.NumStates(),
+		NNZ:        first.NNZ(),
+	}, nil
+}
+
+// checkPhaseCompat checks that two phase models share the structure the grid
+// hand-off requires.
+func checkPhaseCompat(a, b mrm.KiBaMRM) error {
+	if a.Workload.NumStates() != b.Workload.NumStates() {
+		return fmt.Errorf("%w: %d vs %d workload states",
+			ErrPhaseMismatch, a.Workload.NumStates(), b.Workload.NumStates())
+	}
+	if a.Battery != b.Battery {
+		return fmt.Errorf("%w: batteries differ (%+v vs %+v)", ErrPhaseMismatch, a.Battery, b.Battery)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batlife/internal/kibam"
+	"batlife/internal/mrm"
+	"batlife/internal/units"
+	"batlife/internal/workload"
+)
+
+func TestPhasedMatchesHomogeneous(t *testing.T) {
+	model := onOffModel(t, 0.625, 4.5e-5)
+	times := []float64{5000, 12000, 18000}
+	direct, err := Build(model, 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.LifetimeCDF(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PhasedLifetimeCDF([]ModelPhase{
+		{Model: model, Duration: 7000},
+		{Model: model, Duration: math.Inf(1)},
+	}, 300, times, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		if math.Abs(got.EmptyProb[k]-want.EmptyProb[k]) > 1e-8 {
+			t.Errorf("t=%v: phased %v vs direct %v", times[k], got.EmptyProb[k], want.EmptyProb[k])
+		}
+	}
+}
+
+func TestPhasedIdlePhaseFreezesDepletion(t *testing.T) {
+	// Phase 2 draws no current; during it the empty probability cannot
+	// grow (no consumption, and empties are absorbing anyway).
+	active := onOffModel(t, 1, 0)
+	idle := active
+	idle.Currents = []float64{0, 0}
+	phases := []ModelPhase{
+		{Model: active, Duration: 10000},
+		{Model: idle, Duration: 10000},
+		{Model: active, Duration: math.Inf(1)},
+	}
+	times := []float64{10000, 15000, 20000, 25000, 30000}
+	res, err := PhasedLifetimeCDF(phases, 100, times, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.EmptyProb[0]-res.EmptyProb[1]) > 1e-9 ||
+		math.Abs(res.EmptyProb[1]-res.EmptyProb[2]) > 1e-9 {
+		t.Errorf("CDF moved during idle phase: %v", res.EmptyProb[:3])
+	}
+	if res.EmptyProb[4] <= res.EmptyProb[2] {
+		t.Errorf("CDF did not resume after idle phase: %v", res.EmptyProb)
+	}
+}
+
+func TestPhasedDayNightOrdering(t *testing.T) {
+	// A light-then-heavy schedule must deplete later than heavy-always,
+	// earlier than light-always, at every time point.
+	heavy := onOffModel(t, 1, 0)
+	light := heavy
+	light.Currents = []float64{0.24, 0}
+	const nightLen = 8000.0
+	times := []float64{12000, 20000, 30000}
+
+	phased, err := PhasedLifetimeCDF([]ModelPhase{
+		{Model: light, Duration: nightLen},
+		{Model: heavy, Duration: math.Inf(1)},
+	}, 100, times, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyAll, err := Build(heavy, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := heavyAll.LifetimeCDF(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightAll, err := Build(light, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := lightAll.LifetimeCDF(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		if !(phased.EmptyProb[k] <= hres.EmptyProb[k]+1e-9 && phased.EmptyProb[k] >= lres.EmptyProb[k]-1e-9) {
+			t.Errorf("t=%v: phased %v not between light %v and heavy %v",
+				times[k], phased.EmptyProb[k], lres.EmptyProb[k], hres.EmptyProb[k])
+		}
+	}
+}
+
+func TestPhasedMismatchErrors(t *testing.T) {
+	a := onOffModel(t, 0.625, 4.5e-5)
+	// Different battery.
+	b := a
+	b.Battery = kibam.Params{Capacity: 3600, C: 0.5, K: 1e-5}
+	if _, err := PhasedLifetimeCDF([]ModelPhase{
+		{Model: a, Duration: 10},
+		{Model: b, Duration: math.Inf(1)},
+	}, 300, []float64{5}, Options{}); !errors.Is(err, ErrPhaseMismatch) {
+		t.Errorf("battery mismatch: err = %v", err)
+	}
+	// Different workload size.
+	w, err := workload.OnOff(1, 2, units.Amperes(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mrm.KiBaMRM{Workload: w.Chain, Currents: w.Currents, Initial: w.Initial, Battery: a.Battery}
+	if _, err := PhasedLifetimeCDF([]ModelPhase{
+		{Model: a, Duration: 10},
+		{Model: c, Duration: math.Inf(1)},
+	}, 300, []float64{5}, Options{}); !errors.Is(err, ErrPhaseMismatch) {
+		t.Errorf("state-count mismatch: err = %v", err)
+	}
+	if _, err := PhasedLifetimeCDF(nil, 300, []float64{5}, Options{}); !errors.Is(err, ErrPhaseMismatch) {
+		t.Errorf("no phases: err = %v", err)
+	}
+}

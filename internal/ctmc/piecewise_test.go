@@ -1,0 +1,165 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPiecewiseMatchesHomogeneous(t *testing.T) {
+	// Splitting a homogeneous chain into arbitrary phases of the same
+	// generator must not change anything.
+	c := twoState(t, 2, 6)
+	alpha := c.PointDistribution(0)
+	times := []float64{0.3, 0.9, 1.4, 2.5}
+	direct, err := c.Transient(alpha, times, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := []Phase{
+		{Generator: c.Generator(), Duration: 0.5},
+		{Generator: c.Generator(), Duration: 1.0},
+		{Generator: c.Generator(), Duration: math.Inf(1)},
+	}
+	pw, err := PiecewiseTransient(phases, alpha, times, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		for i := range alpha {
+			if math.Abs(pw.Distributions[k][i]-direct.Distributions[k][i]) > 1e-10 {
+				t.Errorf("t=%v state %d: piecewise %v vs direct %v",
+					times[k], i, pw.Distributions[k][i], direct.Distributions[k][i])
+			}
+		}
+	}
+}
+
+func TestPiecewiseTwoPhaseClosedForm(t *testing.T) {
+	// Phase 1: rates (a1, b1) for d seconds; phase 2: rates (a2, b2).
+	// Compose the two-state closed forms by hand.
+	closed := func(a, b, p0, t float64) float64 {
+		// π₁(t) starting with π₁(0) = p0.
+		inf := a / (a + b)
+		return inf + (p0-inf)*math.Exp(-(a+b)*t)
+	}
+	c1 := twoState(t, 1.0, 3.0)
+	c2 := twoState(t, 5.0, 0.5)
+	const d = 0.7
+	phases := []Phase{
+		{Generator: c1.Generator(), Duration: d},
+		{Generator: c2.Generator(), Duration: math.Inf(1)},
+	}
+	alpha := []float64{1, 0}
+	times := []float64{0.2, d, 1.0, 3.0}
+	res, err := PiecewiseTransient(phases, alpha, times, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atBoundary := closed(1, 3, 0, d)
+	want := []float64{
+		closed(1, 3, 0, 0.2),
+		atBoundary,
+		closed(5, 0.5, atBoundary, 1.0-d),
+		closed(5, 0.5, atBoundary, 3.0-d),
+	}
+	for k := range times {
+		if math.Abs(res.Distributions[k][1]-want[k]) > 1e-9 {
+			t.Errorf("t=%v: π₁ = %v, want %v", times[k], res.Distributions[k][1], want[k])
+		}
+	}
+}
+
+func TestPiecewiseFunctionalMatchesDistributions(t *testing.T) {
+	c1 := twoState(t, 1, 2)
+	c2 := twoState(t, 4, 1)
+	phases := []Phase{
+		{Generator: c1.Generator(), Duration: 1},
+		{Generator: c2.Generator(), Duration: math.Inf(1)},
+	}
+	alpha := []float64{0.5, 0.5}
+	w := []float64{2, -3}
+	times := []float64{0.5, 1.5, 4}
+	full, err := PiecewiseTransient(phases, alpha, times, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := PiecewiseTransientFunctional(phases, alpha, w, times, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		want := w[0]*full.Distributions[k][0] + w[1]*full.Distributions[k][1]
+		if math.Abs(fn.Values[k]-want) > 1e-12 {
+			t.Errorf("t=%v: %v, want %v", times[k], fn.Values[k], want)
+		}
+	}
+	if fn.Distributions != nil {
+		t.Error("functional result retains distributions")
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	alpha := c.PointDistribution(0)
+	good := Phase{Generator: c.Generator(), Duration: 1}
+
+	if _, err := PiecewiseTransient(nil, alpha, []float64{1}, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no phases: err = %v", err)
+	}
+	if _, err := PiecewiseTransient([]Phase{good}, alpha, nil, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no times: err = %v", err)
+	}
+	if _, err := PiecewiseTransient([]Phase{{Generator: c.Generator(), Duration: 0}}, alpha, []float64{1}, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero duration: err = %v", err)
+	}
+	inf := Phase{Generator: c.Generator(), Duration: math.Inf(1)}
+	if _, err := PiecewiseTransient([]Phase{inf, good}, alpha, []float64{1}, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("infinite non-final phase: err = %v", err)
+	}
+	// Time beyond the span of finite phases.
+	if _, err := PiecewiseTransient([]Phase{good}, alpha, []float64{5}, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("time beyond span: err = %v", err)
+	}
+	// Mismatched generator size.
+	var b3 Builder
+	b3.Transition("x", "y", 1)
+	b3.Transition("y", "z", 1)
+	b3.Transition("z", "x", 1)
+	c3, err := b3.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PiecewiseTransient([]Phase{{Generator: c3.Generator(), Duration: 1}}, alpha, []float64{0.5}, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("size mismatch: err = %v", err)
+	}
+	if _, err := PiecewiseTransientFunctional([]Phase{good}, alpha, nil, []float64{0.5}, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil functional: err = %v", err)
+	}
+}
+
+func TestPiecewisePhaseWithNoQueries(t *testing.T) {
+	// A middle phase containing no requested times must still advance
+	// the distribution.
+	c1 := twoState(t, 1, 3)
+	c2 := twoState(t, 3, 1)
+	phases := []Phase{
+		{Generator: c1.Generator(), Duration: 1},
+		{Generator: c2.Generator(), Duration: 1},
+		{Generator: c1.Generator(), Duration: math.Inf(1)},
+	}
+	alpha := []float64{1, 0}
+	// Only query inside phases 1 and 3.
+	res, err := PiecewiseTransient(phases, alpha, []float64{0.5, 2.5}, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against a run that also queries the boundaries.
+	ref, err := PiecewiseTransient(phases, alpha, []float64{0.5, 1, 2, 2.5}, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Distributions[1][1]-ref.Distributions[3][1]) > 1e-10 {
+		t.Errorf("skipped-phase run %v vs reference %v", res.Distributions[1][1], ref.Distributions[3][1])
+	}
+}

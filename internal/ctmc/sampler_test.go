@@ -1,0 +1,154 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSamplerDeterministicWithSeed(t *testing.T) {
+	c := twoState(t, 1.2, 3.4)
+	a := NewSampler(c, 42)
+	b := NewSampler(c, 42)
+	for i := 0; i < 100; i++ {
+		if a.Sojourn(0) != b.Sojourn(0) || a.Next(0) != b.Next(0) {
+			t.Fatal("same seed produced different draws")
+		}
+	}
+}
+
+func TestSamplerSojournMean(t *testing.T) {
+	c := twoState(t, 4.0, 1.0)
+	s := NewSampler(c, 7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Sojourn(0)
+	}
+	mean := sum / n
+	// Exit rate 4 → mean sojourn 0.25; Monte-Carlo tolerance ~4σ.
+	if math.Abs(mean-0.25) > 4*0.25/math.Sqrt(n) {
+		t.Errorf("mean sojourn = %v, want 0.25", mean)
+	}
+}
+
+func TestSamplerAbsorbingSojourn(t *testing.T) {
+	var b Builder
+	b.Transition("live", "dead", 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(c, 1)
+	dead := c.Index("dead")
+	if !math.IsInf(s.Sojourn(dead), 1) {
+		t.Error("absorbing sojourn not +Inf")
+	}
+	if s.Next(dead) != dead {
+		t.Error("absorbing Next moved")
+	}
+}
+
+func TestSamplerNextFrequencies(t *testing.T) {
+	// From state a, branches b (rate 1) and c (rate 3): P(b) = 0.25.
+	var b Builder
+	b.Transition("a", "b", 1)
+	b.Transition("a", "c", 3)
+	b.Transition("b", "a", 1)
+	b.Transition("c", "a", 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(c, 99)
+	const n = 100000
+	countB := 0
+	aIdx, bIdx := c.Index("a"), c.Index("b")
+	for i := 0; i < n; i++ {
+		if s.Next(aIdx) == bIdx {
+			countB++
+		}
+	}
+	p := float64(countB) / n
+	if math.Abs(p-0.25) > 4*math.Sqrt(0.25*0.75/n) {
+		t.Errorf("P(a→b) = %v, want 0.25", p)
+	}
+}
+
+func TestSamplerInitialState(t *testing.T) {
+	c := twoState(t, 1, 1)
+	s := NewSampler(c, 5)
+	alpha := []float64{0.7, 0.3}
+	const n = 100000
+	count0 := 0
+	for i := 0; i < n; i++ {
+		if s.InitialState(alpha) == 0 {
+			count0++
+		}
+	}
+	p := float64(count0) / n
+	if math.Abs(p-0.7) > 4*math.Sqrt(0.7*0.3/n) {
+		t.Errorf("P(start=0) = %v, want 0.7", p)
+	}
+}
+
+func TestTrajectoryCoversHorizon(t *testing.T) {
+	c := twoState(t, 2, 5)
+	s := NewSampler(c, 11)
+	const horizon = 25.0
+	for trial := 0; trial < 50; trial++ {
+		steps := s.Trajectory(c.PointDistribution(0), horizon)
+		total := 0.0
+		for _, st := range steps {
+			if st.Sojourn < 0 {
+				t.Fatal("negative sojourn")
+			}
+			total += st.Sojourn
+		}
+		if math.Abs(total-horizon) > 1e-9 {
+			t.Fatalf("trajectory covers %v, want %v", total, horizon)
+		}
+	}
+}
+
+func TestTrajectoryStopsAtAbsorbing(t *testing.T) {
+	var b Builder
+	b.Transition("live", "dead", 100)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(c, 3)
+	steps := s.Trajectory(c.PointDistribution(c.Index("live")), 1000)
+	last := steps[len(steps)-1]
+	total := 0.0
+	for _, st := range steps {
+		total += st.Sojourn
+	}
+	if math.Abs(total-1000) > 1e-9 {
+		t.Errorf("trajectory length %v, want truncation at horizon", total)
+	}
+	// With rate 100 and horizon 1000, absorption is essentially certain:
+	// the final (truncated) step must be in the absorbing state.
+	if last.State != c.Index("dead") {
+		t.Errorf("final state %s", c.Name(last.State))
+	}
+}
+
+func TestTrajectoryOccupancyMatchesSteadyState(t *testing.T) {
+	c := twoState(t, 2, 6)
+	s := NewSampler(c, 21)
+	occupancy := make([]float64, 2)
+	const horizon = 20000.0
+	for _, st := range s.Trajectory(c.PointDistribution(0), horizon) {
+		occupancy[st.State] += st.Sojourn
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Abs(occupancy[i]/horizon-pi[i]) > 0.02 {
+			t.Errorf("state %d occupancy %v, steady state %v", i, occupancy[i]/horizon, pi[i])
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"batlife/internal/foxglynn"
+	"batlife/internal/sparse"
+)
+
+// ErrBadInput reports invalid arguments to the transient engine.
+var ErrBadInput = errors.New("ctmc: bad transient input")
+
+// TransientOptions tunes the uniformisation engine.
+type TransientOptions struct {
+	// Epsilon bounds the truncated Poisson tail mass per time point.
+	// Zero selects 1e-12.
+	Epsilon float64
+	// Workers sets the SpMV parallelism; zero selects runtime.NumCPU().
+	Workers int
+	// UniformizationSlack multiplies the maximal exit rate to obtain the
+	// uniformisation constant q. Zero selects 1.02; the slack guarantees
+	// strictly positive self-loop probabilities, which improves the
+	// convergence behaviour of periodic chains.
+	UniformizationSlack float64
+	// DisableSteadyStateDetection turns off the early-termination check:
+	// when the iteration vector v_n stops changing (the uniformised DTMC
+	// has converged — e.g. all probability mass has been absorbed), the
+	// remaining Poisson weight is folded in analytically and the
+	// iteration stops. Detection is sound up to the transient epsilon;
+	// disable it to force the full Fox–Glynn window.
+	DisableSteadyStateDetection bool
+	// OnIteration, when non-nil, is invoked after every uniformisation
+	// step with the current and total iteration count. It is called on
+	// the calling goroutine.
+	OnIteration func(done, total int)
+}
+
+func (o TransientOptions) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return 1e-12
+	}
+	return o.Epsilon
+}
+
+func (o TransientOptions) slack() float64 {
+	if o.UniformizationSlack <= 0 {
+		return 1.02
+	}
+	return o.UniformizationSlack
+}
+
+// Result is the output of a transient solve.
+type Result struct {
+	// Times echoes the requested time points.
+	Times []float64
+	// Distributions[k] is π(Times[k]); nil for functional solves.
+	Distributions [][]float64
+	// Values[k] is the requested functional of π(Times[k]); nil for
+	// distribution solves.
+	Values []float64
+	// Iterations is the number of vector-matrix products performed.
+	Iterations int
+	// Rate is the uniformisation constant q.
+	Rate float64
+}
+
+// TransientDistributions computes the full state distribution of the
+// CTMC with the given generator at each time point via uniformisation.
+// The generator may be any valid infinitesimal generator, including ones
+// with absorbing states; validity is the caller's responsibility at this
+// level (Chain validates on construction).
+func TransientDistributions(gen *sparse.CSR, alpha, times []float64, opts TransientOptions) (*Result, error) {
+	return transient(gen, alpha, nil, times, opts)
+}
+
+// TransientFunctional computes w·π(t) — the probability-weighted sum of
+// the functional w over states — at each time point. It shares one
+// v_n = α·Pⁿ sequence across all time points, so the cost is that of
+// solving only the largest one.
+func TransientFunctional(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions) (*Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil functional", ErrBadInput)
+	}
+	return transient(gen, alpha, w, times, opts)
+}
+
+func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions) (*Result, error) {
+	n := gen.Rows()
+	if gen.Cols() != n {
+		return nil, fmt.Errorf("%w: generator is %dx%d", ErrBadInput, gen.Rows(), gen.Cols())
+	}
+	if len(alpha) != n {
+		return nil, fmt.Errorf("%w: |alpha|=%d for %d states", ErrBadInput, len(alpha), n)
+	}
+	if w != nil && len(w) != n {
+		return nil, fmt.Errorf("%w: |w|=%d for %d states", ErrBadInput, len(w), n)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: no time points", ErrBadInput)
+	}
+	sum := 0.0
+	for _, a := range alpha {
+		if a < 0 || math.IsNaN(a) {
+			return nil, fmt.Errorf("%w: negative or NaN initial probability", ErrBadInput)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: initial distribution sums to %v", ErrBadInput, sum)
+	}
+	for _, t := range times {
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("%w: time point %v", ErrBadInput, t)
+		}
+	}
+	if !sort.Float64sAreSorted(times) {
+		return nil, fmt.Errorf("%w: time points must be ascending", ErrBadInput)
+	}
+
+	res := &Result{Times: append([]float64(nil), times...)}
+	q := gen.MaxAbsDiagonal() * opts.slack()
+	res.Rate = q
+
+	if q == 0 {
+		// No transitions anywhere: the distribution never moves.
+		return frozenResult(res, alpha, w, times), nil
+	}
+
+	// Poisson windows per time point, and the global iteration bound.
+	weights := make([]*foxglynn.Weights, len(times))
+	maxRight := 0
+	for k, t := range times {
+		fw, err := foxglynn.Compute(q*t, opts.epsilon())
+		if err != nil {
+			return nil, fmt.Errorf("ctmc: poisson weights for t=%v: %w", t, err)
+		}
+		weights[k] = fw
+		if fw.Right > maxRight {
+			maxRight = fw.Right
+		}
+	}
+
+	// P = I + Q/q, stored transposed so v·P becomes Pᵀ·v, a plain
+	// parallelisable matrix-vector product.
+	pt, err := uniformizedTransposed(gen, q)
+	if err != nil {
+		return nil, err
+	}
+	pool := sparse.NewPool(opts.Workers)
+
+	// Accumulators.
+	if w == nil {
+		res.Distributions = make([][]float64, len(times))
+		for k := range res.Distributions {
+			res.Distributions[k] = make([]float64, n)
+		}
+	} else {
+		res.Values = make([]float64, len(times))
+	}
+
+	// foldIn accumulates weight·v into every requested time point.
+	foldIn := func(it int, v []float64, tailMass bool) {
+		if w == nil {
+			for k, fw := range weights {
+				p := fw.At(it)
+				if tailMass {
+					p = tailWeight(fw, it)
+				}
+				if p > 0 {
+					dst := res.Distributions[k]
+					for i, vi := range v {
+						dst[i] += p * vi
+					}
+				}
+			}
+			return
+		}
+		var s float64
+		computed := false
+		for k, fw := range weights {
+			p := fw.At(it)
+			if tailMass {
+				p = tailWeight(fw, it)
+			}
+			if p > 0 {
+				if !computed {
+					for i, vi := range v {
+						s += w[i] * vi
+					}
+					computed = true
+				}
+				res.Values[k] += p * s
+			}
+		}
+	}
+
+	// Steady-state detection: once v_{n+1} ≈ v_n the DTMC has converged
+	// (all further powers are equal up to the tolerance), so the rest
+	// of every Poisson window collapses onto the current vector.
+	ssdTol := opts.epsilon()
+	checkEvery := 16
+
+	v := append([]float64(nil), alpha...)
+	next := make([]float64, n)
+	for it := 0; it <= maxRight; it++ {
+		foldIn(it, v, false)
+		if it == maxRight {
+			break
+		}
+		if err := pool.MulVec(pt, next, v); err != nil {
+			return nil, fmt.Errorf("ctmc: uniformisation step %d: %w", it, err)
+		}
+		if !opts.DisableSteadyStateDetection && it%checkEvery == 0 {
+			maxDelta := 0.0
+			for i := range v {
+				if d := math.Abs(next[i] - v[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			if maxDelta <= ssdTol {
+				// Fold the remaining window mass (> it) in one shot.
+				v, next = next, v
+				res.Iterations++
+				foldIn(it+1, v, true)
+				return res, nil
+			}
+		}
+		v, next = next, v
+		res.Iterations++
+		if opts.OnIteration != nil {
+			opts.OnIteration(res.Iterations, maxRight)
+		}
+	}
+	return res, nil
+}
+
+// tailWeight returns the total Poisson weight of the window at indices
+// >= from.
+func tailWeight(fw *foxglynn.Weights, from int) float64 {
+	sum := 0.0
+	if from < fw.Left {
+		from = fw.Left
+	}
+	for n := from; n <= fw.Right; n++ {
+		sum += fw.At(n)
+	}
+	return sum
+}
+
+func frozenResult(res *Result, alpha, w, times []float64) *Result {
+	if w == nil {
+		res.Distributions = make([][]float64, len(times))
+		for k := range res.Distributions {
+			res.Distributions[k] = append([]float64(nil), alpha...)
+		}
+		return res
+	}
+	res.Values = make([]float64, len(times))
+	s := 0.0
+	for i, a := range alpha {
+		s += w[i] * a
+	}
+	for k := range res.Values {
+		res.Values[k] = s
+	}
+	return res
+}
+
+// uniformizedTransposed returns (I + Q/q) transposed, in CSR form.
+func uniformizedTransposed(gen *sparse.CSR, q float64) (*sparse.CSR, error) {
+	n := gen.Rows()
+	b := sparse.NewBuilder(n, n, gen.NNZ()+n)
+	for r := 0; r < n; r++ {
+		diagSeen := false
+		gen.Row(r, func(c int, v float64) {
+			if c == r {
+				// Transposed: entry (c, r) of Pᵀ.
+				b.Add(r, r, 1+v/q)
+				diagSeen = true
+				return
+			}
+			b.Add(c, r, v/q)
+		})
+		if !diagSeen {
+			b.Add(r, r, 1)
+		}
+	}
+	pt, err := b.Freeze()
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: build uniformised matrix: %w", err)
+	}
+	return pt, nil
+}

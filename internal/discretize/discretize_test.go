@@ -1,0 +1,225 @@
+package discretize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batlife/internal/ctmc"
+	"batlife/internal/mrm"
+	"batlife/internal/performability"
+	"batlife/internal/units"
+	"batlife/internal/workload"
+)
+
+func singleState(t *testing.T, rate float64) mrm.ConstantReward {
+	t.Helper()
+	var b ctmc.Builder
+	b.State("only")
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mrm.ConstantReward{Chain: chain, Rates: []float64{rate}, Initial: []float64{1}}
+}
+
+func TestScaleRates(t *testing.T) {
+	tests := []struct {
+		name     string
+		rates    []float64
+		wantUnit float64
+		wantG    []int
+		wantErr  bool
+	}{
+		{"paper currents", []float64{0.008, 0.2, 0}, 0.008, []int{1, 25, 0}, false},
+		{"integers", []float64{3, 6, 9}, 3, []int{1, 2, 3}, false},
+		{"all zero", []float64{0, 0}, 0, []int{0, 0}, false},
+		{"single", []float64{0.96}, 0.96, []int{1}, false},
+		{"irrational pair", []float64{1, math.Pi}, 0, nil, true},
+		{"negative", []float64{-1, 2}, 0, nil, true},
+		{"NaN", []float64{math.NaN()}, 0, nil, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			unit, g, err := ScaleRates(tt.rates)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrNotScalable) {
+					t.Errorf("error %v does not wrap ErrNotScalable", err)
+				}
+				return
+			}
+			if math.Abs(unit-tt.wantUnit) > 1e-12 {
+				t.Errorf("unit = %v, want %v", unit, tt.wantUnit)
+			}
+			for i := range tt.wantG {
+				if g[i] != tt.wantG[i] {
+					t.Errorf("g = %v, want %v", g, tt.wantG)
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicDepletion(t *testing.T) {
+	// Single state at 2 units/s, capacity 100: dead at step 50/D.
+	m := singleState(t, 2)
+	probs, err := EnergyDepletionCDF(m, 100, []float64{40, 49.5, 50.5, 70}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 0 || probs[1] != 0 {
+		t.Errorf("alive phase: %v", probs[:2])
+	}
+	if probs[2] != 1 || probs[3] != 1 {
+		t.Errorf("dead phase: %v", probs[2:])
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Dead + live mass must remain 1 — checked implicitly by the CDF
+	// approaching 1 and never exceeding it.
+	w, err := workload.OnOff(0.05, 1, units.Amperes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	probs, err := EnergyDepletionCDF(m, 50, []float64{50, 100, 200, 400, 800}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, p := range probs {
+		if p < prev-1e-12 || p > 1 {
+			t.Fatalf("probs[%d] = %v (prev %v)", i, p, prev)
+		}
+		prev = p
+	}
+	if probs[len(probs)-1] < 0.99 {
+		t.Errorf("battery survives too long: %v", probs)
+	}
+}
+
+func TestAgreesWithExactSolver(t *testing.T) {
+	// On the simple wireless model the discretisation must converge to
+	// the transform-domain exact solution.
+	w, err := workload.Simple(workload.SimpleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	capacity := units.MilliampHours(800).AmpereSeconds()
+	times := []float64{10 * 3600, 15 * 3600, 20 * 3600, 25 * 3600}
+	exact, err := performability.EnergyDepletionCDF(m, capacity, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := EnergyDepletionCDF(m, capacity, times, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		if math.Abs(approx[k]-exact[k]) > 0.02 {
+			t.Errorf("t=%v h: discretize %v vs exact %v", times[k]/3600, approx[k], exact[k])
+		}
+	}
+}
+
+func TestConvergenceInStep(t *testing.T) {
+	w, err := workload.Simple(workload.SimpleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	capacity := units.MilliampHours(800).AmpereSeconds()
+	times := []float64{15 * 3600}
+	exact, err := performability.EnergyDepletionCDF(m, capacity, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for _, step := range []float64{240, 60, 15} {
+		approx, err := EnergyDepletionCDF(m, capacity, times, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, math.Abs(approx[0]-exact[0]))
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] >= errs[i-1] && errs[i] > 1e-4 {
+			t.Errorf("error did not shrink with step: %v", errs)
+		}
+	}
+}
+
+func TestRejectsUnscalableRates(t *testing.T) {
+	var b ctmc.Builder
+	b.Transition("a", "b", 1)
+	b.Transition("b", "a", 1)
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: chain, Rates: []float64{1, math.Sqrt2}, Initial: []float64{1, 0}}
+	if _, err := EnergyDepletionCDF(m, 10, []float64{5}, 0.01); !errors.Is(err, ErrNotScalable) {
+		t.Errorf("err = %v, want ErrNotScalable", err)
+	}
+}
+
+func TestRejectsUnstableStep(t *testing.T) {
+	var b ctmc.Builder
+	b.Transition("a", "b", 10)
+	b.Transition("b", "a", 10)
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: chain, Rates: []float64{1, 0}, Initial: []float64{1, 0}}
+	// q·D = 10·0.5 = 5 > 1.
+	if _, err := EnergyDepletionCDF(m, 10, []float64{5}, 0.5); !errors.Is(err, ErrBadStep) {
+		t.Errorf("err = %v, want ErrBadStep", err)
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	m := singleState(t, 1)
+	if _, err := EnergyDepletionCDF(m, 0, []float64{1}, 0.1); !errors.Is(err, ErrBadStep) {
+		t.Errorf("zero capacity: err = %v", err)
+	}
+	if _, err := EnergyDepletionCDF(m, 10, nil, 0.1); !errors.Is(err, ErrBadStep) {
+		t.Errorf("no times: err = %v", err)
+	}
+	if _, err := EnergyDepletionCDF(m, 10, []float64{1}, 0); !errors.Is(err, ErrBadStep) {
+		t.Errorf("zero step: err = %v", err)
+	}
+}
+
+func TestZeroRatesNeverDeplete(t *testing.T) {
+	m := singleState(t, 0)
+	probs, err := EnergyDepletionCDF(m, 10, []float64{1, 100}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 0 || probs[1] != 0 {
+		t.Errorf("probs = %v, want zeros", probs)
+	}
+}
+
+func BenchmarkDiscretizeSimpleModel(b *testing.B) {
+	w, err := workload.Simple(workload.SimpleConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	capacity := units.MilliampHours(800).AmpereSeconds()
+	times := []float64{20 * 3600}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnergyDepletionCDF(m, capacity, times, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package dist provides empirical-distribution utilities for the
+// simulation side of the paper's experiments: empirical CDFs, quantiles,
+// moments and Kolmogorov–Smirnov distances for comparing simulated
+// lifetime distributions with the Markovian approximation.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples reports an empty sample set.
+var ErrNoSamples = errors.New("dist: no samples")
+
+// ErrBadProbability reports a probability outside [0, 1].
+var ErrBadProbability = errors.New("dist: probability out of range")
+
+// ECDF is an immutable empirical cumulative distribution function.
+// Samples of +Inf are allowed and model censored observations: the CDF
+// then never reaches one.
+type ECDF struct {
+	sorted []float64
+	finite int // number of finite samples
+}
+
+// NewECDF builds an empirical CDF from the samples (copied, then
+// sorted). NaN samples are rejected.
+func NewECDF(samples []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	s := append([]float64(nil), samples...)
+	for _, x := range s {
+		if math.IsNaN(x) {
+			return nil, fmt.Errorf("dist: NaN sample")
+		}
+	}
+	sort.Float64s(s)
+	finite := len(s)
+	for finite > 0 && math.IsInf(s[finite-1], 1) {
+		finite--
+	}
+	return &ECDF{sorted: s, finite: finite}, nil
+}
+
+// N reports the total number of samples.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns the fraction of samples ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Eval returns the CDF at each of the given points.
+func (e *ECDF) Eval(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = e.At(x)
+	}
+	return out
+}
+
+// Quantile returns the p-quantile (inverse CDF) of the samples.
+func (e *ECDF) Quantile(p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: %v", ErrBadProbability, p)
+	}
+	if p == 0 {
+		return e.sorted[0], nil
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx], nil
+}
+
+// Mean returns the sample mean over the finite samples.
+func (e *ECDF) Mean() (float64, error) {
+	if e.finite == 0 {
+		return 0, fmt.Errorf("%w: all samples censored", ErrNoSamples)
+	}
+	sum := 0.0
+	for _, x := range e.sorted[:e.finite] {
+		sum += x
+	}
+	return sum / float64(e.finite), nil
+}
+
+// Std returns the sample standard deviation over the finite samples.
+func (e *ECDF) Std() (float64, error) {
+	mean, err := e.Mean()
+	if err != nil {
+		return 0, err
+	}
+	if e.finite < 2 {
+		return 0, nil
+	}
+	sum := 0.0
+	for _, x := range e.sorted[:e.finite] {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(e.finite-1)), nil
+}
+
+// Min returns the smallest sample.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest finite sample, or +Inf if every sample is
+// censored.
+func (e *ECDF) Max() float64 {
+	if e.finite == 0 {
+		return math.Inf(1)
+	}
+	return e.sorted[e.finite-1]
+}
+
+// Censored reports the number of +Inf (censored) samples.
+func (e *ECDF) Censored() int { return len(e.sorted) - e.finite }
+
+// KSAgainst returns the Kolmogorov–Smirnov distance between the
+// empirical CDF and a reference CDF, evaluated at the sample points
+// (where the empirical CDF attains its sup deviations).
+func (e *ECDF) KSAgainst(cdf func(float64) float64) float64 {
+	maxDev := 0.0
+	n := float64(len(e.sorted))
+	for i, x := range e.sorted[:e.finite] {
+		ref := cdf(x)
+		lower := math.Abs(float64(i)/n - ref)   // just below the jump
+		upper := math.Abs(float64(i+1)/n - ref) // just above the jump
+		maxDev = math.Max(maxDev, math.Max(lower, upper))
+	}
+	return maxDev
+}
+
+// KSBetween returns the Kolmogorov–Smirnov distance between two
+// empirical CDFs.
+func KSBetween(a, b *ECDF) float64 {
+	maxDev := 0.0
+	for _, x := range a.sorted[:a.finite] {
+		maxDev = math.Max(maxDev, math.Abs(a.At(x)-b.At(x)))
+	}
+	for _, x := range b.sorted[:b.finite] {
+		maxDev = math.Max(maxDev, math.Abs(a.At(x)-b.At(x)))
+	}
+	return maxDev
+}
+
+// ConfidenceBand returns the half-width of the Dvoretzky–Kiefer–
+// Wolfowitz confidence band for the empirical CDF at level 1−alpha:
+// with probability 1−alpha the true CDF lies within ±band everywhere.
+func (e *ECDF) ConfidenceBand(alpha float64) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("%w: alpha %v", ErrBadProbability, alpha)
+	}
+	return math.Sqrt(math.Log(2/alpha) / (2 * float64(len(e.sorted)))), nil
+}

@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFErrors(t *testing.T) {
+	if _, err := NewECDF(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty: err = %v, want ErrNoSamples", err)
+	}
+	if _, err := NewECDF([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := e.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if e.N() != 4 || e.Min() != 1 || e.Max() != 3 {
+		t.Errorf("N/Min/Max = %d/%v/%v", e.N(), e.Min(), e.Max())
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	e, err := NewECDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples[0] = -100
+	if e.Min() != 1 {
+		t.Error("ECDF aliases caller's slice")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	e, err := NewECDF([]float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, tc := range cases {
+		got, err := e.Quantile(tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := e.Quantile(p); !errors.Is(err, ErrBadProbability) {
+			t.Errorf("Quantile(%v): err = %v, want ErrBadProbability", p, err)
+		}
+	}
+}
+
+func TestMeanAndStd(t *testing.T) {
+	e, err := NewECDF([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := e.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 5 {
+		t.Errorf("Mean = %v, want 5", mean)
+	}
+	std, err := e.Std()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", std, want)
+	}
+}
+
+func TestCensoredSamples(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, math.Inf(1), math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Censored() != 2 {
+		t.Errorf("Censored = %d, want 2", e.Censored())
+	}
+	if got := e.At(1e12); got != 0.5 {
+		t.Errorf("CDF at huge x = %v, want 0.5 with half the mass censored", got)
+	}
+	mean, err := e.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 1.5 {
+		t.Errorf("finite-sample mean = %v, want 1.5", mean)
+	}
+	if e.Max() != 2 {
+		t.Errorf("Max = %v, want largest finite sample 2", e.Max())
+	}
+	allCensored, err := NewECDF([]float64{math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := allCensored.Mean(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("all-censored mean: err = %v", err)
+	}
+	if !math.IsInf(allCensored.Max(), 1) {
+		t.Error("all-censored Max not +Inf")
+	}
+}
+
+func TestEval(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Eval([]float64{0, 1.5, 5})
+	want := []float64{0, 1.0 / 3, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Errorf("Eval[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKSAgainstExactUniform(t *testing.T) {
+	// Large uniform sample against the true uniform CDF: KS distance
+	// must be small but positive.
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	e, err := NewECDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := func(x float64) float64 {
+		return math.Min(1, math.Max(0, x))
+	}
+	ks := e.KSAgainst(uniform)
+	if ks <= 0 || ks > 0.03 {
+		t.Errorf("KS distance = %v, want small positive", ks)
+	}
+	// Against a shifted CDF the distance must be near the shift.
+	shifted := func(x float64) float64 { return uniform(x - 0.2) }
+	if ks := e.KSAgainst(shifted); math.Abs(ks-0.2) > 0.03 {
+		t.Errorf("KS against shifted = %v, want ≈ 0.2", ks)
+	}
+}
+
+func TestKSBetween(t *testing.T) {
+	a, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := KSBetween(a, b); ks != 0 {
+		t.Errorf("KS between identical = %v", ks)
+	}
+	c, err := NewECDF([]float64{101, 102, 103, 104})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := KSBetween(a, c); ks != 1 {
+		t.Errorf("KS between disjoint = %v, want 1", ks)
+	}
+}
+
+func TestConfidenceBand(t *testing.T) {
+	e, err := NewECDF(make([]float64, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := e.ConfidenceBand(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DKW at n=1000, alpha=0.05: sqrt(ln(40)/2000) ≈ 0.0429.
+	if math.Abs(band-0.0429) > 0.001 {
+		t.Errorf("band = %v, want ≈ 0.0429", band)
+	}
+	for _, a := range []float64{0, 1, -1} {
+		if _, err := e.ConfidenceBand(a); !errors.Is(err, ErrBadProbability) {
+			t.Errorf("alpha %v: err = %v", a, err)
+		}
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	// The ECDF is a valid CDF: monotone, 0 before min, 1 at max (when
+	// uncensored), and At(Quantile(p)) >= p.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 100
+		}
+		e, err := NewECDF(samples)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, x := range sorted {
+			cur := e.At(x)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		if e.At(e.Min()-1) != 0 || e.At(e.Max()) != 1 {
+			return false
+		}
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			q, err := e.Quantile(p)
+			if err != nil || e.At(q) < p-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package kibam implements the Kinetic Battery Model (KiBaM) of Manwell
+// and McGowan, the analytical battery model that Section 3 of the paper
+// builds on.
+//
+// The battery charge is split over two wells. The available-charge well
+// (y1) feeds the load directly; the bound-charge well (y2) replenishes
+// the available well at a rate proportional to the difference in well
+// heights h2 − h1, with h1 = y1/c and h2 = y2/(1−c):
+//
+//	dy1/dt = −I + k·(h2 − h1)
+//	dy2/dt =     − k·(h2 − h1)
+//
+// For constant load current I this system has a closed-form solution,
+// which this package evaluates exactly; piecewise-constant load profiles
+// are handled by stepping from segment to segment. Battery lifetime —
+// the first time y1 reaches zero — is found by bisection on the closed
+// form, using the fact that within a constant-current segment y1 has at
+// most one local maximum.
+package kibam
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParams reports invalid battery parameters.
+var ErrBadParams = errors.New("kibam: invalid parameters")
+
+// ErrBadProfile reports an invalid load profile.
+var ErrBadProfile = errors.New("kibam: invalid load profile")
+
+// Params are the three KiBaM battery constants.
+type Params struct {
+	// Capacity is the total battery capacity C in ampere-seconds.
+	Capacity float64
+	// C is the fraction of the capacity held by the available-charge
+	// well, in (0, 1]. c = 1 degenerates to an ideal linear battery.
+	C float64
+	// K is the well-flow rate constant k in 1/s. k = 0 disables charge
+	// transfer between the wells.
+	K float64
+}
+
+// Validate reports whether the parameters describe a usable battery.
+func (p Params) Validate() error {
+	if !(p.Capacity > 0) || math.IsInf(p.Capacity, 0) {
+		return fmt.Errorf("%w: capacity %v", ErrBadParams, p.Capacity)
+	}
+	if !(p.C > 0) || p.C > 1 {
+		return fmt.Errorf("%w: well fraction c = %v not in (0,1]", ErrBadParams, p.C)
+	}
+	if p.K < 0 || math.IsNaN(p.K) || math.IsInf(p.K, 0) {
+		return fmt.Errorf("%w: flow constant k = %v", ErrBadParams, p.K)
+	}
+	return nil
+}
+
+// kPrime returns k' = k/(c(1−c)), the relaxation rate of the height
+// difference. Only meaningful for c < 1.
+func (p Params) kPrime() float64 {
+	return p.K / (p.C * (1 - p.C))
+}
+
+// twoWell reports whether both wells are active (c < 1 and k > 0 makes
+// the bound well reachable; c < 1 with k = 0 still stores charge there,
+// it just never flows).
+func (p Params) twoWell() bool { return p.C < 1 }
+
+// State is the instantaneous charge content of the two wells, in
+// ampere-seconds.
+type State struct {
+	Y1 float64 // available charge
+	Y2 float64 // bound charge
+}
+
+// Total returns the total remaining charge.
+func (s State) Total() float64 { return s.Y1 + s.Y2 }
+
+// Empty reports whether the available-charge well is exhausted, the
+// paper's definition of an empty battery (equation 4).
+func (s State) Empty() bool { return s.Y1 <= 0 }
+
+// FullState returns the state of a freshly charged battery:
+// y1 = c·C, y2 = (1−c)·C.
+func (p Params) FullState() State {
+	return State{Y1: p.C * p.Capacity, Y2: (1 - p.C) * p.Capacity}
+}
+
+// HeightDiff returns h2 − h1 for the given state.
+func (p Params) HeightDiff(s State) float64 {
+	if !p.twoWell() {
+		return 0
+	}
+	return s.Y2/(1-p.C) - s.Y1/p.C
+}
+
+// Step advances the battery exactly under constant current for dt
+// seconds and returns the new state. The available well is not clamped
+// at zero — callers interested in depletion must call Depletion first;
+// this keeps Step a pure evaluation of the closed form. The bound well
+// is clamped at zero (transfer stops when no bound charge is left).
+func (p Params) Step(s State, current, dt float64) State {
+	if dt == 0 {
+		return s
+	}
+	if !p.twoWell() || p.K == 0 {
+		return State{Y1: s.Y1 - current*dt, Y2: s.Y2}
+	}
+	// Transfer only flows downhill from the bound well (the paper's
+	// reward rates vanish unless h2 > h1 > 0 — no flow when the bound
+	// well is the lower one; we also stop flow when the bound well is
+	// exhausted).
+	delta0 := p.HeightDiff(s)
+	if s.Y2 <= 0 || (delta0 <= 0 && current <= 0) {
+		return State{Y1: s.Y1 - current*dt, Y2: s.Y2}
+	}
+	if delta0 < 0 {
+		// The available well is the higher one (possible only from
+		// custom initial states): no flow until the load drains h1 down
+		// to h2, at tc = (h1 − h2)·c/I; then the closed form applies
+		// with equal heights.
+		tc := -delta0 * p.C / current
+		if dt <= tc {
+			return State{Y1: s.Y1 - current*dt, Y2: s.Y2}
+		}
+		s = State{Y1: s.Y1 - current*tc, Y2: s.Y2}
+		dt -= tc
+	}
+	y1, y2 := p.evalClosedForm(s, current, dt)
+	if y2 < 0 {
+		// The bound well ran dry mid-segment: find the crossing and
+		// continue with transfer switched off.
+		tc := p.bisect(dt, func(t float64) float64 {
+			_, v2 := p.evalClosedForm(s, current, t)
+			return v2
+		})
+		y1c, _ := p.evalClosedForm(s, current, tc)
+		return State{Y1: y1c - current*(dt-tc), Y2: 0}
+	}
+	return State{Y1: y1, Y2: y2}
+}
+
+// evalClosedForm evaluates the constant-current solution at time t
+// without boundary handling. Requires the two-well regime.
+func (p Params) evalClosedForm(s State, current, t float64) (y1, y2 float64) {
+	kp := p.kPrime()
+	delta0 := p.HeightDiff(s)
+	deltaInf := current * (1 - p.C) / p.K
+	e := math.Exp(-kp * t)
+	// ∫0^t δ(s) ds with δ(t) = δ∞ + (δ0−δ∞)e^{−k't}.
+	integral := deltaInf*t + (delta0-deltaInf)*(1-e)/kp
+	y2 = s.Y2 - p.K*integral
+	y1 = s.Y1 - current*t + p.K*integral
+	return y1, y2
+}
+
+// Depletion returns the first time in (0, dt] at which the available
+// well reaches zero under constant current, and true; or 0, false if the
+// battery survives the whole segment. The state must not be empty.
+func (p Params) Depletion(s State, current, dt float64) (float64, bool) {
+	if s.Y1 <= 0 {
+		return 0, true
+	}
+	if !p.twoWell() || p.K == 0 || s.Y2 <= 0 {
+		if current <= 0 {
+			return 0, false
+		}
+		t := s.Y1 / current
+		if t <= dt {
+			return t, true
+		}
+		return 0, false
+	}
+	if current <= 0 {
+		// Pure recovery: y1 only grows (δ0 ≥ 0 enforced by Step's flow
+		// gating; with δ0 < 0 nothing flows and y1 is constant).
+		return 0, false
+	}
+	if math.IsInf(dt, 1) {
+		// A positive constant load always depletes the battery within
+		// Total/I seconds (all charge drawn); cap the search window.
+		dt = s.Total()/current + 1
+	}
+	if d0 := p.HeightDiff(s); d0 < 0 {
+		// No-flow phase while the available well is the higher one;
+		// the drain is linear until the heights meet.
+		tc := -d0 * p.C / current
+		linearEnd := math.Min(tc, dt)
+		if t := s.Y1 / current; t <= linearEnd {
+			return t, true
+		}
+		if dt <= tc {
+			return 0, false
+		}
+		rest, ok := p.Depletion(State{Y1: s.Y1 - current*tc, Y2: s.Y2}, current, dt-tc)
+		if !ok {
+			return 0, false
+		}
+		return tc + rest, true
+	}
+	// The closed form is only valid while the bound well holds charge;
+	// find the (rare) time tc at which it runs dry within this segment.
+	tc := dt
+	if _, y2End := p.evalClosedForm(s, current, dt); y2End < 0 {
+		tc = p.bisect(dt, func(t float64) float64 {
+			_, v2 := p.evalClosedForm(s, current, t)
+			return v2
+		})
+	}
+	// Within [0, tc]: y1 rises while k·δ(t) > I and falls afterwards;
+	// δ(t) is monotone, so y1 has at most one local maximum at t*.
+	kp := p.kPrime()
+	delta0 := p.HeightDiff(s)
+	deltaInf := current * (1 - p.C) / p.K
+	crossing := current / p.K // δ∞ = (1−c)·I/k < I/k, so t* always exists
+	tStar := 0.0
+	if delta0 > crossing {
+		// δ(t*) = I/k: e^{−k' t*} = (I/k − δ∞)/(δ0 − δ∞).
+		tStar = -math.Log((crossing-deltaInf)/(delta0-deltaInf)) / kp
+	}
+	if tStar < tc {
+		if y1End, _ := p.evalClosedForm(s, current, tc); y1End <= 0 {
+			// Bisect on the decreasing branch [t*, tc].
+			lo, hi := tStar, tc
+			for i := 0; i < 200; i++ {
+				mid := (lo + hi) / 2
+				y1m, _ := p.evalClosedForm(s, current, mid)
+				if y1m > 0 {
+					lo = mid
+				} else {
+					hi = mid
+				}
+				if hi-lo < 1e-12*(1+hi) {
+					break
+				}
+			}
+			return (lo + hi) / 2, true
+		}
+	}
+	if tc >= dt {
+		return 0, false
+	}
+	// Bound well dry at tc with y1 still positive: the rest of the
+	// segment drains linearly.
+	y1c, _ := p.evalClosedForm(s, current, tc)
+	if t := tc + y1c/current; t <= dt {
+		return t, true
+	}
+	return 0, false
+}
+
+// bisect finds a zero of f in (0, dt] assuming f(0) > 0 ≥ f(dt).
+func (p Params) bisect(dt float64, f func(float64) float64) float64 {
+	lo, hi := 0.0, dt
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,397 @@
+package kibam
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams is the battery of the paper's Table 1 and Figures 2, 8, 9:
+// C = 7200 As (2000 mAh), c = 0.625, k = 4.5e-5 /s.
+var paperParams = Params{Capacity: 7200, C: 0.625, K: 4.5e-5}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"paper battery", paperParams, false},
+		{"degenerate c=1", Params{Capacity: 7200, C: 1, K: 0}, false},
+		{"zero capacity", Params{Capacity: 0, C: 0.5, K: 1e-5}, true},
+		{"negative capacity", Params{Capacity: -1, C: 0.5, K: 1e-5}, true},
+		{"c zero", Params{Capacity: 1, C: 0, K: 1e-5}, true},
+		{"c above one", Params{Capacity: 1, C: 1.1, K: 1e-5}, true},
+		{"negative k", Params{Capacity: 1, C: 0.5, K: -1}, true},
+		{"NaN k", Params{Capacity: 1, C: 0.5, K: math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadParams) {
+				t.Errorf("error %v does not wrap ErrBadParams", err)
+			}
+		})
+	}
+}
+
+func TestFullState(t *testing.T) {
+	s := paperParams.FullState()
+	if math.Abs(s.Y1-4500) > 1e-9 || math.Abs(s.Y2-2700) > 1e-9 {
+		t.Errorf("full state = %+v, want y1=4500 y2=2700", s)
+	}
+	if math.Abs(paperParams.HeightDiff(s)) > 1e-12 {
+		t.Errorf("full state heights differ by %v", paperParams.HeightDiff(s))
+	}
+	if s.Empty() {
+		t.Error("full state reported empty")
+	}
+}
+
+func TestStepLinearWhenCIsOne(t *testing.T) {
+	p := Params{Capacity: 7200, C: 1, K: 0}
+	s := p.Step(p.FullState(), 0.96, 1000)
+	if math.Abs(s.Y1-(7200-960)) > 1e-9 || s.Y2 != 0 {
+		t.Errorf("state = %+v", s)
+	}
+}
+
+func TestStepNoTransferWhenKIsZero(t *testing.T) {
+	p := Params{Capacity: 7200, C: 0.625, K: 0}
+	s := p.Step(p.FullState(), 0.96, 1000)
+	if math.Abs(s.Y1-(4500-960)) > 1e-9 || math.Abs(s.Y2-2700) > 1e-9 {
+		t.Errorf("state = %+v", s)
+	}
+}
+
+func TestStepChargeConservation(t *testing.T) {
+	// Total charge decreases exactly by the drawn charge I·dt while
+	// both wells stay in their valid regime.
+	s := paperParams.FullState()
+	stepped := paperParams.Step(s, 0.96, 600)
+	if got, want := stepped.Total(), s.Total()-0.96*600; math.Abs(got-want) > 1e-8 {
+		t.Errorf("total = %v, want %v", got, want)
+	}
+}
+
+func TestStepRecovery(t *testing.T) {
+	// Draw hard, then rest: the available well must refill from the
+	// bound well with total charge conserved.
+	loaded := paperParams.Step(paperParams.FullState(), 0.96, 2000)
+	rested := paperParams.Step(loaded, 0, 3000)
+	if rested.Y1 <= loaded.Y1 {
+		t.Errorf("no recovery: y1 %v -> %v", loaded.Y1, rested.Y1)
+	}
+	if rested.Y2 >= loaded.Y2 {
+		t.Errorf("bound charge did not drain: y2 %v -> %v", loaded.Y2, rested.Y2)
+	}
+	if math.Abs(rested.Total()-loaded.Total()) > 1e-8 {
+		t.Errorf("rest changed total charge: %v -> %v", loaded.Total(), rested.Total())
+	}
+}
+
+func TestRestEqualizesHeights(t *testing.T) {
+	loaded := paperParams.Step(paperParams.FullState(), 0.96, 2000)
+	if paperParams.HeightDiff(loaded) <= 0 {
+		t.Fatalf("expected positive height difference after load")
+	}
+	rested := paperParams.Step(loaded, 0, 1e7)
+	if d := paperParams.HeightDiff(rested); math.Abs(d) > 1e-6 {
+		t.Errorf("height difference after long rest = %v, want 0", d)
+	}
+}
+
+func TestStepAdditivityProperty(t *testing.T) {
+	// Step(s, I, t1+t2) == Step(Step(s, I, t1), I, t2): the closed form
+	// must compose, or piecewise evaluation would drift.
+	f := func(seedI, seedT uint32) bool {
+		current := 0.1 + 1.9*float64(seedI%1000)/1000
+		t1 := 10 + float64(seedT%997)
+		t2 := 10 + float64((seedT/997)%997)
+		s := paperParams.FullState()
+		// Keep within the non-empty regime.
+		if current*(t1+t2) > 0.8*s.Y1 {
+			return true
+		}
+		oneShot := paperParams.Step(s, current, t1+t2)
+		twoShot := paperParams.Step(paperParams.Step(s, current, t1), current, t2)
+		return math.Abs(oneShot.Y1-twoShot.Y1) < 1e-7 &&
+			math.Abs(oneShot.Y2-twoShot.Y2) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepNoUphillFlowUnderLoad(t *testing.T) {
+	// Custom state with the available well higher than the bound well:
+	// the paper's rates forbid flow until the heights meet, so the
+	// bound well must not gain charge while h1 > h2.
+	s := State{Y1: 4000, Y2: 300} // h1 = 6400, h2 = 800
+	if paperParams.HeightDiff(s) >= 0 {
+		t.Fatal("test state must have h1 > h2")
+	}
+	stepped := paperParams.Step(s, 0.96, 500)
+	if stepped.Y2 > s.Y2+1e-9 {
+		t.Errorf("bound well gained charge uphill: %v -> %v", s.Y2, stepped.Y2)
+	}
+	if math.Abs(stepped.Y1-(s.Y1-0.96*500)) > 1e-6 {
+		t.Errorf("y1 = %v, want pure linear drain while no flow", stepped.Y1)
+	}
+	// Past the height-crossing instant the flow resumes: a long step
+	// must show bound-charge transfer into the available well.
+	far := paperParams.Step(s, 0.96, 4000)
+	if far.Y2 >= s.Y2 {
+		t.Errorf("no transfer after heights met: y2 %v -> %v", s.Y2, far.Y2)
+	}
+	if math.Abs(far.Total()-(s.Total()-0.96*4000)) > 1e-6 {
+		t.Errorf("charge not conserved across the crossing: %v", far.Total())
+	}
+}
+
+func TestDepletionFromUphillState(t *testing.T) {
+	// Depletion from an h1 > h2 state: the linear no-flow phase and the
+	// closed-form phase must hand over consistently — the state at the
+	// reported depletion instant is empty.
+	s := State{Y1: 1000, Y2: 300}
+	tdep, ok := paperParams.Depletion(s, 0.96, math.Inf(1))
+	if !ok {
+		t.Fatal("no depletion")
+	}
+	at := paperParams.Step(s, 0.96, tdep)
+	if math.Abs(at.Y1) > 1e-5 {
+		t.Errorf("y1 at reported depletion = %v", at.Y1)
+	}
+	// Depletion must respect finite segment bounds too.
+	if _, ok := paperParams.Depletion(s, 0.96, 10); ok {
+		t.Error("depletion inside a 10 s segment that cannot deplete")
+	}
+}
+
+// rk4 integrates the raw KiBaM ODEs with boundary gating, as an
+// independent reference for the closed form.
+func rk4(p Params, s State, current, dt float64, steps int) State {
+	h := dt / float64(steps)
+	deriv := func(y1, y2 float64) (d1, d2 float64) {
+		flow := 0.0
+		if p.C < 1 && y2 > 0 {
+			flow = p.K * (y2/(1-p.C) - y1/p.C)
+			if flow < 0 && current <= 0 {
+				flow = 0
+			}
+		}
+		return -current + flow, -flow
+	}
+	y1, y2 := s.Y1, s.Y2
+	for i := 0; i < steps; i++ {
+		k11, k12 := deriv(y1, y2)
+		k21, k22 := deriv(y1+h/2*k11, y2+h/2*k12)
+		k31, k32 := deriv(y1+h/2*k21, y2+h/2*k22)
+		k41, k42 := deriv(y1+h*k31, y2+h*k32)
+		y1 += h / 6 * (k11 + 2*k21 + 2*k31 + k41)
+		y2 += h / 6 * (k12 + 2*k22 + 2*k32 + k42)
+	}
+	return State{Y1: y1, Y2: y2}
+}
+
+func TestStepMatchesRK4(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Params
+		current float64
+		dt      float64
+	}{
+		{"paper battery loaded", paperParams, 0.96, 3000},
+		{"paper battery light load", paperParams, 0.1, 5000},
+		{"fast transfer", Params{Capacity: 1000, C: 0.4, K: 1e-3}, 0.3, 800},
+		{"slow transfer", Params{Capacity: 5000, C: 0.8, K: 1e-6}, 0.5, 2000},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			closed := tt.p.Step(tt.p.FullState(), tt.current, tt.dt)
+			numeric := rk4(tt.p, tt.p.FullState(), tt.current, tt.dt, 20000)
+			if math.Abs(closed.Y1-numeric.Y1) > 1e-4*(1+math.Abs(numeric.Y1)) {
+				t.Errorf("y1: closed %v, rk4 %v", closed.Y1, numeric.Y1)
+			}
+			if math.Abs(closed.Y2-numeric.Y2) > 1e-4*(1+math.Abs(numeric.Y2)) {
+				t.Errorf("y2: closed %v, rk4 %v", closed.Y2, numeric.Y2)
+			}
+		})
+	}
+}
+
+func TestStepRecoveryMatchesRK4(t *testing.T) {
+	loaded := paperParams.Step(paperParams.FullState(), 0.96, 2500)
+	closed := paperParams.Step(loaded, 0, 4000)
+	numeric := rk4(paperParams, loaded, 0, 4000, 20000)
+	if math.Abs(closed.Y1-numeric.Y1) > 1e-4 || math.Abs(closed.Y2-numeric.Y2) > 1e-4 {
+		t.Errorf("closed %+v, rk4 %+v", closed, numeric)
+	}
+}
+
+func TestDepletionLinear(t *testing.T) {
+	p := Params{Capacity: 7200, C: 1, K: 0}
+	tdep, ok := p.Depletion(p.FullState(), 0.96, math.Inf(1))
+	if !ok {
+		t.Fatal("no depletion")
+	}
+	if want := 7200 / 0.96; math.Abs(tdep-want) > 1e-9 {
+		t.Errorf("depletion at %v, want %v", tdep, want)
+	}
+	if _, ok := p.Depletion(p.FullState(), 0.96, 100); ok {
+		t.Error("depletion inside a segment that cannot deplete")
+	}
+}
+
+func TestDepletionHitsZero(t *testing.T) {
+	tdep, ok := paperParams.Depletion(paperParams.FullState(), 0.96, math.Inf(1))
+	if !ok {
+		t.Fatal("no depletion")
+	}
+	s := paperParams.Step(paperParams.FullState(), 0.96, tdep)
+	if math.Abs(s.Y1) > 1e-5 {
+		t.Errorf("y1 at depletion time = %v, want 0", s.Y1)
+	}
+}
+
+func TestDepletionEmptyState(t *testing.T) {
+	if tdep, ok := paperParams.Depletion(State{Y1: 0, Y2: 100}, 1, 10); !ok || tdep != 0 {
+		t.Errorf("empty battery: (%v, %v), want (0, true)", tdep, ok)
+	}
+}
+
+func TestDepletionNoLoad(t *testing.T) {
+	if _, ok := paperParams.Depletion(paperParams.FullState(), 0, 1e9); ok {
+		t.Error("zero load reported depletion")
+	}
+}
+
+func TestLifetimeContinuousMatchesPaper(t *testing.T) {
+	// Table 1, KiBaM column, continuous load: 91 minutes.
+	life, err := paperParams.Lifetime(ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := life / 60; math.Abs(min-91) > 0.5 {
+		t.Errorf("continuous lifetime = %v min, paper reports 91", min)
+	}
+}
+
+func TestLifetimeSquareWaveMatchesPaper(t *testing.T) {
+	// Table 1, KiBaM column: 203 minutes at both 1 Hz and 0.2 Hz —
+	// the plain KiBaM is frequency-independent, which is exactly the
+	// deficiency the paper discusses.
+	var lifetimes []float64
+	for _, f := range []float64{1, 0.2} {
+		life, err := paperParams.Lifetime(SquareWave{On: 0.96, Frequency: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min := life / 60; math.Abs(min-203) > 1 {
+			t.Errorf("f=%v: lifetime = %v min, paper reports 203", f, min)
+		}
+		lifetimes = append(lifetimes, life)
+	}
+	if diff := math.Abs(lifetimes[0]-lifetimes[1]) / 60; diff > 0.5 {
+		t.Errorf("KiBaM lifetime depends on frequency by %v min; the model must be frequency-independent", diff)
+	}
+}
+
+func TestLifetimeIdealBattery(t *testing.T) {
+	p := Params{Capacity: 7200, C: 1, K: 0}
+	life, err := p.Lifetime(ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 7200 / 0.96
+	if math.Abs(life-want) > 1e-9 {
+		t.Errorf("ideal lifetime = %v, want C/I = %v", life, want)
+	}
+	// Square wave at duty 0.5 exactly doubles the ideal lifetime.
+	life2, err := p.Lifetime(SquareWave{On: 0.96, Frequency: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life2-2*want) > 100+1e-9 { // at most one 0.01 Hz period of slack
+		t.Errorf("square-wave ideal lifetime = %v, want ~%v", life2, 2*want)
+	}
+}
+
+func TestLifetimeMonotoneInLoad(t *testing.T) {
+	prev := math.Inf(1)
+	for _, current := range []float64{0.2, 0.4, 0.8, 1.6, 3.2} {
+		life, err := paperParams.Lifetime(ConstantLoad(current))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if life >= prev {
+			t.Errorf("lifetime %v at %vA not below %v at lower load", life, current, prev)
+		}
+		prev = life
+	}
+}
+
+func TestIntermittentBeatsContinuous(t *testing.T) {
+	cont, err := paperParams.Lifetime(ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	square, err := paperParams.Lifetime(SquareWave{On: 0.96, Frequency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The on-time alone (half the wall clock) must exceed the
+	// continuous lifetime: recovery makes bound charge usable.
+	if square/2 <= cont {
+		t.Errorf("on-time %v under square wave not above continuous lifetime %v", square/2, cont)
+	}
+}
+
+func TestLifetimeFromEmptyState(t *testing.T) {
+	life, err := paperParams.LifetimeFrom(State{Y1: 0, Y2: 500}, ConstantLoad(1))
+	if err != nil || life != 0 {
+		t.Errorf("lifetime from empty = (%v, %v), want (0, nil)", life, err)
+	}
+}
+
+func TestLifetimeZeroLoadFails(t *testing.T) {
+	if _, err := paperParams.Lifetime(ConstantLoad(0)); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("err = %v, want ErrBadProfile", err)
+	}
+}
+
+func TestLifetimeBadSegments(t *testing.T) {
+	profiles := []Profile{
+		SegmentList{{Current: -1, Duration: 10}},
+		SegmentList{{Current: 1, Duration: 0}},
+		SegmentList{{Current: math.NaN(), Duration: 10}},
+	}
+	for i, prof := range profiles {
+		if _, err := paperParams.Lifetime(prof); !errors.Is(err, ErrBadProfile) {
+			t.Errorf("profile %d: err = %v, want ErrBadProfile", i, err)
+		}
+	}
+}
+
+func TestSegmentListTailIsIdle(t *testing.T) {
+	l := SegmentList{{Current: 2, Duration: 5}}
+	seg := l.Segment(3)
+	if seg.Current != 0 || !math.IsInf(seg.Duration, 1) {
+		t.Errorf("tail segment = %+v", seg)
+	}
+}
+
+func TestSquareWaveDuty(t *testing.T) {
+	w := SquareWave{On: 1, Frequency: 0.5, Duty: 0.25}
+	on, off := w.Segment(0), w.Segment(1)
+	if on.Current != 1 || math.Abs(on.Duration-0.5) > 1e-12 {
+		t.Errorf("on segment = %+v", on)
+	}
+	if off.Current != 0 || math.Abs(off.Duration-1.5) > 1e-12 {
+		t.Errorf("off segment = %+v", off)
+	}
+}

@@ -1,0 +1,242 @@
+package kibam
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is one piece of a piecewise-constant load profile.
+type Segment struct {
+	// Current is the load in ampere (non-negative; zero models an idle
+	// or sleeping device during which the battery recovers).
+	Current float64
+	// Duration is the segment length in seconds.
+	Duration float64
+}
+
+// Profile produces consecutive load segments. Implementations may be
+// infinite (periodic workloads); evaluation stops at depletion.
+type Profile interface {
+	// Segment returns the i-th load segment, starting from 0.
+	Segment(i int) Segment
+}
+
+// ConstantLoad is a Profile drawing a fixed current forever.
+type ConstantLoad float64
+
+// Segment implements Profile.
+func (c ConstantLoad) Segment(int) Segment {
+	return Segment{Current: float64(c), Duration: math.Inf(1)}
+}
+
+// SquareWave is the on/off Profile used throughout the paper's
+// experiments: current On for the first half of each period, zero for
+// the second half.
+type SquareWave struct {
+	// On is the load current during the on phase, in ampere.
+	On float64
+	// Frequency is the wave frequency in hertz.
+	Frequency float64
+	// Duty is the fraction of each period spent on; zero selects 0.5,
+	// the paper's choice.
+	Duty float64
+}
+
+// Segment implements Profile.
+func (w SquareWave) Segment(i int) Segment {
+	duty := w.Duty
+	if duty == 0 {
+		duty = 0.5
+	}
+	period := 1 / w.Frequency
+	if i%2 == 0 {
+		return Segment{Current: w.On, Duration: duty * period}
+	}
+	return Segment{Current: 0, Duration: (1 - duty) * period}
+}
+
+// SegmentList is a finite Profile; past its end the load is zero.
+type SegmentList []Segment
+
+// Segment implements Profile.
+func (l SegmentList) Segment(i int) Segment {
+	if i < len(l) {
+		return l[i]
+	}
+	return Segment{Current: 0, Duration: math.Inf(1)}
+}
+
+// Lifetime evaluates the battery under the profile from the full state
+// and returns the time at which the available charge first reaches zero.
+// It returns an error if the profile never depletes the battery (e.g. a
+// zero load), detected by a bound on the total charge drawn.
+func (p Params) Lifetime(profile Profile) (float64, error) {
+	return p.LifetimeFrom(p.FullState(), profile)
+}
+
+// LifetimeFrom is Lifetime starting from an arbitrary state.
+func (p Params) LifetimeFrom(s State, profile Profile) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if s.Empty() {
+		return 0, nil
+	}
+	elapsed := 0.0
+	drawn := 0.0
+	for i := 0; ; i++ {
+		seg := profile.Segment(i)
+		if seg.Current < 0 || seg.Duration <= 0 || math.IsNaN(seg.Current) || math.IsNaN(seg.Duration) {
+			return 0, fmt.Errorf("%w: segment %d has current %v, duration %v",
+				ErrBadProfile, i, seg.Current, seg.Duration)
+		}
+		if t, ok := p.Depletion(s, seg.Current, seg.Duration); ok {
+			return elapsed + t, nil
+		}
+		if math.IsInf(seg.Duration, 1) {
+			return 0, fmt.Errorf("%w: infinite segment %d with current %v never depletes the battery",
+				ErrBadProfile, i, seg.Current)
+		}
+		s = p.Step(s, seg.Current, seg.Duration)
+		elapsed += seg.Duration
+		drawn += seg.Current * seg.Duration
+		if drawn > 2*p.Capacity {
+			return 0, fmt.Errorf("%w: drew %v As without depleting a %v As battery",
+				ErrBadProfile, drawn, p.Capacity)
+		}
+	}
+}
+
+// TracePoint is one sample of a charge evolution trace.
+type TracePoint struct {
+	T  float64 // time in seconds
+	Y1 float64 // available charge in ampere-seconds
+	Y2 float64 // bound charge in ampere-seconds
+}
+
+// Trace samples the well contents under the profile every interval
+// seconds, from the full state until the battery empties (the final
+// point is the exact depletion instant) or until maxTime. This is the
+// computation behind Figure 2.
+func (p Params) Trace(profile Profile, interval, maxTime float64) ([]TracePoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 || maxTime <= 0 {
+		return nil, fmt.Errorf("%w: interval %v, maxTime %v", ErrBadProfile, interval, maxTime)
+	}
+	s := p.FullState()
+	points := []TracePoint{{T: 0, Y1: s.Y1, Y2: s.Y2}}
+	elapsed := 0.0
+	nextSample := interval
+	segIdx := 0
+	seg := profile.Segment(0)
+	segLeft := seg.Duration
+	for elapsed < maxTime {
+		// Advance to the next event: sample instant or segment end.
+		dt := math.Min(nextSample-elapsed, segLeft)
+		dt = math.Min(dt, maxTime-elapsed)
+		if t, ok := p.Depletion(s, seg.Current, dt); ok {
+			s = p.Step(s, seg.Current, t)
+			points = append(points, TracePoint{T: elapsed + t, Y1: 0, Y2: s.Y2})
+			return points, nil
+		}
+		s = p.Step(s, seg.Current, dt)
+		elapsed += dt
+		segLeft -= dt
+		if elapsed >= nextSample-1e-12 {
+			points = append(points, TracePoint{T: elapsed, Y1: math.Max(s.Y1, 0), Y2: s.Y2})
+			nextSample += interval
+		}
+		if segLeft <= 1e-12 {
+			segIdx++
+			seg = profile.Segment(segIdx)
+			segLeft = seg.Duration
+		}
+	}
+	return points, nil
+}
+
+// CalibrateK finds the flow constant k for which the battery's lifetime
+// under the given constant load matches target (in seconds). This is the
+// procedure the paper uses to fit k to the experimental data of Rao et
+// al. Lifetime is strictly increasing in k, so bisection applies.
+func CalibrateK(capacity, c, load, target float64) (float64, error) {
+	base := Params{Capacity: capacity, C: c, K: 0}
+	if err := base.Validate(); err != nil {
+		return 0, err
+	}
+	if load <= 0 || target <= 0 {
+		return 0, fmt.Errorf("%w: load %v, target %v", ErrBadParams, load, target)
+	}
+	lifeAt := func(k float64) (float64, error) {
+		p := Params{Capacity: capacity, C: c, K: k}
+		return p.Lifetime(ConstantLoad(load))
+	}
+	minLife, err := lifeAt(0)
+	if err != nil {
+		return 0, err
+	}
+	if target < minLife {
+		return 0, fmt.Errorf("%w: target %v s below the zero-transfer lifetime %v s",
+			ErrBadParams, target, minLife)
+	}
+	maxLife := capacity / load // all charge delivered
+	if target >= maxLife {
+		return 0, fmt.Errorf("%w: target %v s not reachable; ideal lifetime is %v s",
+			ErrBadParams, target, maxLife)
+	}
+	// Bracket k from above.
+	hi := 1e-6
+	for {
+		l, err := lifeAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if l >= target {
+			break
+		}
+		hi *= 2
+		if hi > 1e6 {
+			return 0, fmt.Errorf("%w: cannot bracket k for target %v s", ErrBadParams, target)
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		l, err := lifeAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if l < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// DeliveredCharge returns the total charge drawn from the battery when
+// it is discharged to empty under the profile: the integral of the load
+// over the lifetime. For very small loads it approaches Capacity; for
+// large loads it approaches c·Capacity. The quotient of these extremes
+// is how the paper's Section 3 determines c from measurements.
+func (p Params) DeliveredCharge(profile Profile) (float64, error) {
+	life, err := p.Lifetime(profile)
+	if err != nil {
+		return 0, err
+	}
+	delivered := 0.0
+	elapsed := 0.0
+	for i := 0; elapsed < life; i++ {
+		seg := profile.Segment(i)
+		dt := math.Min(seg.Duration, life-elapsed)
+		delivered += seg.Current * dt
+		elapsed += dt
+	}
+	return delivered, nil
+}

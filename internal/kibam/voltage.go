@@ -1,0 +1,155 @@
+package kibam
+
+import (
+	"fmt"
+	"math"
+)
+
+// VoltageParams models the terminal voltage of a KiBaM battery in the
+// form of Manwell and McGowan's original model: an open-circuit EMF
+// that sags as charge is removed, minus the ohmic drop over the
+// internal resistance,
+//
+//	V = E0 + A·X + CV·X/(D − X) − I·R0,
+//
+// where X ∈ [0, 1) is the fraction of the capacity already discharged.
+// The paper's Section 2 describes exactly this behaviour ("the voltage
+// drops during discharge"); the distribution algorithms track charge
+// only, so the voltage model is an output layer: it converts charge
+// states to voltages and supports cut-off–voltage lifetimes, the
+// criterion real devices switch off at.
+type VoltageParams struct {
+	// E0 is the open-circuit voltage of the full battery, in volt.
+	E0 float64
+	// A is the linear EMF slope against discharged fraction (≤ 0 for
+	// real cells), in volt.
+	A float64
+	// CV is the coefficient of the rational sag term (≤ 0), in volt.
+	CV float64
+	// D is the normalised exhaustion knee (> 1): the sag term blows up
+	// as X approaches D.
+	D float64
+	// R0 is the internal resistance in ohm.
+	R0 float64
+}
+
+// Validate reports whether the voltage constants are usable.
+func (vp VoltageParams) Validate() error {
+	for _, v := range []float64{vp.E0, vp.A, vp.CV, vp.D, vp.R0} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite voltage constant", ErrBadParams)
+		}
+	}
+	if vp.E0 <= 0 {
+		return fmt.Errorf("%w: E0 = %v", ErrBadParams, vp.E0)
+	}
+	if vp.A > 0 || vp.CV > 0 {
+		return fmt.Errorf("%w: EMF slopes must be non-positive (A=%v, CV=%v)", ErrBadParams, vp.A, vp.CV)
+	}
+	if vp.D <= 1 {
+		return fmt.Errorf("%w: exhaustion knee D = %v must exceed 1", ErrBadParams, vp.D)
+	}
+	if vp.R0 < 0 {
+		return fmt.Errorf("%w: internal resistance %v", ErrBadParams, vp.R0)
+	}
+	return nil
+}
+
+// TypicalLiIon returns voltage constants resembling a single Li-ion
+// cell: 4.2 V full, ~3.0 V near exhaustion under moderate load.
+func TypicalLiIon() VoltageParams {
+	return VoltageParams{E0: 4.2, A: -0.6, CV: -0.08, D: 1.08, R0: 0.15}
+}
+
+// Terminal returns the terminal voltage of the battery in state s under
+// load current (ampere).
+func (p Params) Terminal(vp VoltageParams, s State, current float64) float64 {
+	x := p.dischargedFraction(s)
+	return vp.E0 + vp.A*x + vp.CV*x/(vp.D-x) - current*vp.R0
+}
+
+// dischargedFraction returns X, clamped to [0, 1].
+func (p Params) dischargedFraction(s State) float64 {
+	x := (p.Capacity - s.Total()) / p.Capacity
+	return math.Min(1, math.Max(0, x))
+}
+
+// CutoffResult describes how a cut-off–voltage evaluation ended.
+type CutoffResult struct {
+	// Lifetime is the first time the battery became unusable, seconds.
+	Lifetime float64
+	// VoltageLimited is true when the terminal voltage crossed the
+	// cut-off first; false when the available charge ran out first.
+	VoltageLimited bool
+}
+
+// LifetimeToCutoff evaluates the battery under the profile until either
+// the terminal voltage drops below cutoff volts during a load segment
+// or the available charge empties, whichever happens first. Within a
+// constant-current segment the discharged fraction grows monotonically,
+// so the voltage decreases monotonically and the crossing is found by
+// bisection.
+func (p Params) LifetimeToCutoff(vp VoltageParams, profile Profile, cutoff float64) (CutoffResult, error) {
+	if err := p.Validate(); err != nil {
+		return CutoffResult{}, err
+	}
+	if err := vp.Validate(); err != nil {
+		return CutoffResult{}, err
+	}
+	if cutoff <= 0 || cutoff >= vp.E0 {
+		return CutoffResult{}, fmt.Errorf("%w: cutoff %v outside (0, E0)", ErrBadParams, cutoff)
+	}
+	s := p.FullState()
+	elapsed := 0.0
+	drawn := 0.0
+	for i := 0; ; i++ {
+		seg := profile.Segment(i)
+		if seg.Current < 0 || seg.Duration <= 0 || math.IsNaN(seg.Current) || math.IsNaN(seg.Duration) {
+			return CutoffResult{}, fmt.Errorf("%w: segment %d has current %v, duration %v",
+				ErrBadProfile, i, seg.Current, seg.Duration)
+		}
+		dur := seg.Duration
+		if math.IsInf(dur, 1) {
+			if seg.Current <= 0 {
+				return CutoffResult{}, fmt.Errorf("%w: infinite idle segment %d never ends the battery",
+					ErrBadProfile, i)
+			}
+			dur = s.Total()/seg.Current + 1
+		}
+		// Voltage crossing inside this segment?
+		if seg.Current > 0 && p.Terminal(vp, s, seg.Current) >= cutoff {
+			// Depletion bounds the bisection window.
+			end := dur
+			if tdep, ok := p.Depletion(s, seg.Current, dur); ok {
+				end = tdep
+			}
+			vEnd := p.Terminal(vp, p.Step(s, seg.Current, end), seg.Current)
+			if vEnd < cutoff {
+				lo, hi := 0.0, end
+				for iter := 0; iter < 100; iter++ {
+					mid := (lo + hi) / 2
+					if p.Terminal(vp, p.Step(s, seg.Current, mid), seg.Current) >= cutoff {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				return CutoffResult{Lifetime: elapsed + (lo+hi)/2, VoltageLimited: true}, nil
+			}
+		} else if seg.Current > 0 {
+			// Already below cutoff at the segment start.
+			return CutoffResult{Lifetime: elapsed, VoltageLimited: true}, nil
+		}
+		// Charge depletion inside this segment?
+		if t, ok := p.Depletion(s, seg.Current, dur); ok {
+			return CutoffResult{Lifetime: elapsed + t, VoltageLimited: false}, nil
+		}
+		s = p.Step(s, seg.Current, dur)
+		elapsed += dur
+		drawn += seg.Current * dur
+		if drawn > 2*p.Capacity {
+			return CutoffResult{}, fmt.Errorf("%w: drew %v As without ending a %v As battery",
+				ErrBadProfile, drawn, p.Capacity)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package kibam
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestVoltageParamsValidate(t *testing.T) {
+	if err := TypicalLiIon().Validate(); err != nil {
+		t.Errorf("typical cell rejected: %v", err)
+	}
+	cases := []VoltageParams{
+		{E0: 0, A: -0.5, CV: -0.1, D: 1.1, R0: 0.1},
+		{E0: 4.2, A: 0.5, CV: -0.1, D: 1.1, R0: 0.1},
+		{E0: 4.2, A: -0.5, CV: 0.1, D: 1.1, R0: 0.1},
+		{E0: 4.2, A: -0.5, CV: -0.1, D: 0.9, R0: 0.1},
+		{E0: 4.2, A: -0.5, CV: -0.1, D: 1.1, R0: -1},
+		{E0: math.NaN(), A: -0.5, CV: -0.1, D: 1.1, R0: 0.1},
+	}
+	for i, vp := range cases {
+		if err := vp.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: err = %v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestTerminalVoltageFullBatteryNoLoad(t *testing.T) {
+	vp := TypicalLiIon()
+	v := paperParams.Terminal(vp, paperParams.FullState(), 0)
+	if math.Abs(v-vp.E0) > 1e-12 {
+		t.Errorf("open-circuit full voltage = %v, want E0 = %v", v, vp.E0)
+	}
+}
+
+func TestTerminalVoltageOhmicDrop(t *testing.T) {
+	vp := TypicalLiIon()
+	s := paperParams.FullState()
+	v0 := paperParams.Terminal(vp, s, 0)
+	v1 := paperParams.Terminal(vp, s, 1)
+	if math.Abs((v0-v1)-vp.R0) > 1e-12 {
+		t.Errorf("IR drop at 1 A = %v, want R0 = %v", v0-v1, vp.R0)
+	}
+}
+
+func TestTerminalVoltageDecreasesWithDischarge(t *testing.T) {
+	vp := TypicalLiIon()
+	s := paperParams.FullState()
+	prev := paperParams.Terminal(vp, s, 0.96)
+	for i := 0; i < 5; i++ {
+		s = paperParams.Step(s, 0.96, 1000)
+		v := paperParams.Terminal(vp, s, 0.96)
+		if v >= prev {
+			t.Fatalf("voltage rose during discharge: %v -> %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestTerminalVoltageRecoversAfterRest(t *testing.T) {
+	vp := TypicalLiIon()
+	loaded := paperParams.Step(paperParams.FullState(), 0.96, 3000)
+	underLoad := paperParams.Terminal(vp, loaded, 0.96)
+	atRest := paperParams.Terminal(vp, loaded, 0)
+	if atRest <= underLoad {
+		t.Errorf("removing the load did not raise the voltage: %v vs %v", atRest, underLoad)
+	}
+}
+
+func TestLifetimeToCutoffVoltageLimited(t *testing.T) {
+	// A cut-off just below the loaded full-charge voltage trips quickly,
+	// long before the charge is gone.
+	vp := TypicalLiIon()
+	vStart := paperParams.Terminal(vp, paperParams.FullState(), 0.96)
+	res, err := paperParams.LifetimeToCutoff(vp, ConstantLoad(0.96), vStart-0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VoltageLimited {
+		t.Error("expected a voltage-limited result")
+	}
+	charge, err := paperParams.Lifetime(ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime >= charge {
+		t.Errorf("voltage-limited lifetime %v not below charge-limited %v", res.Lifetime, charge)
+	}
+	// The voltage at the crossing must equal the cutoff.
+	s := paperParams.Step(paperParams.FullState(), 0.96, res.Lifetime)
+	if v := paperParams.Terminal(vp, s, 0.96); math.Abs(v-(vStart-0.05)) > 1e-6 {
+		t.Errorf("voltage at crossing = %v, want %v", v, vStart-0.05)
+	}
+}
+
+func TestLifetimeToCutoffChargeLimited(t *testing.T) {
+	// With a very low cut-off the charge runs out first (the rational
+	// sag term is capped because X never reaches D).
+	vp := VoltageParams{E0: 4.2, A: -0.3, CV: -0.01, D: 1.5, R0: 0.05}
+	res, err := paperParams.LifetimeToCutoff(vp, ConstantLoad(0.96), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VoltageLimited {
+		t.Error("expected a charge-limited result")
+	}
+	charge, err := paperParams.Lifetime(ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lifetime-charge) > 1 {
+		t.Errorf("charge-limited lifetime %v, want %v", res.Lifetime, charge)
+	}
+}
+
+func TestLifetimeToCutoffSquareWave(t *testing.T) {
+	// Under a square wave the voltage recovers during off phases (IR
+	// drop vanishes and charge flows back), so a cut-off that a
+	// continuous load hits early is survived longer.
+	vp := TypicalLiIon()
+	cutoff := 3.4
+	cont, err := paperParams.LifetimeToCutoff(vp, ConstantLoad(0.96), cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := paperParams.LifetimeToCutoff(vp, SquareWave{On: 0.96, Frequency: 0.01}, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wave.Lifetime <= cont.Lifetime {
+		t.Errorf("square-wave cutoff lifetime %v not above continuous %v", wave.Lifetime, cont.Lifetime)
+	}
+}
+
+func TestLifetimeToCutoffArgErrors(t *testing.T) {
+	vp := TypicalLiIon()
+	if _, err := paperParams.LifetimeToCutoff(vp, ConstantLoad(1), 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero cutoff: err = %v", err)
+	}
+	if _, err := paperParams.LifetimeToCutoff(vp, ConstantLoad(1), 5.0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("cutoff above E0: err = %v", err)
+	}
+	bad := vp
+	bad.D = 0.5
+	if _, err := paperParams.LifetimeToCutoff(bad, ConstantLoad(1), 3); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad voltage params: err = %v", err)
+	}
+	if _, err := paperParams.LifetimeToCutoff(vp, ConstantLoad(0), 3); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("zero load: err = %v", err)
+	}
+}
+
+func TestDischargedFractionClamps(t *testing.T) {
+	if x := paperParams.dischargedFraction(paperParams.FullState()); x != 0 {
+		t.Errorf("full battery X = %v", x)
+	}
+	if x := paperParams.dischargedFraction(State{Y1: 0, Y2: 0}); x != 1 {
+		t.Errorf("empty battery X = %v", x)
+	}
+	if x := paperParams.dischargedFraction(State{Y1: 9000, Y2: 0}); x != 0 {
+		t.Errorf("overfull battery X = %v, want clamp to 0", x)
+	}
+}

@@ -1,0 +1,230 @@
+// Package performability computes the exact distribution of accumulated
+// reward in a homogeneous Markov reward model with constant, finite
+// reward rates — the performability distribution of Meyer.
+//
+// The paper obtains the "exact" curve of Figure 10 (C = 800 mAh, c = 1)
+// with Sericola's uniformisation-based occupation-time algorithm [25].
+// This package computes the same quantity through the transform domain
+// (see DESIGN.md, substitution 3): for reward rates r and generator Q,
+//
+//	E[exp(−s·Y(t))] = α · exp((Q − s·diag(r))·t) · 𝟙,
+//
+// a classical identity obtained by conditioning on the state process.
+// The Laplace–Stieltjes transform is inverted numerically with the
+// Abate–Whitt Euler algorithm, giving Pr{Y(t) ≤ y} to roughly 1e−8 —
+// far below every other error source in the paper's experiments.
+//
+// For a battery with all charge available (c = 1) and capacity C, the
+// accumulated energy Y(t) is non-decreasing, so the battery-lifetime
+// distribution is the first-passage dual Pr{L ≤ t} = Pr{Y(t) ≥ C}.
+package performability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"batlife/internal/linalg"
+	"batlife/internal/mrm"
+)
+
+// ErrBadQuery reports invalid evaluation arguments.
+var ErrBadQuery = errors.New("performability: invalid query")
+
+// euler holds the Abate–Whitt Euler-summation constants: discretisation
+// parameter A (controls aliasing error, e^-A), n regular terms and m
+// binomial averaging terms.
+const (
+	eulerA = 18.4
+	eulerN = 15
+	eulerM = 11
+)
+
+// Distribution returns F(t, y) = Pr{Y(t) ≤ y} for the accumulated
+// reward of the model at time t. Rates may be any finite reals; y may be
+// any real. At atoms of Y(t) (e.g. y = r_i·t reachable by never leaving
+// state i) the inversion converges to the midpoint of the jump.
+func Distribution(m mrm.ConstantReward, t, y float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, fmt.Errorf("performability: %w", err)
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return 0, fmt.Errorf("%w: time %v", ErrBadQuery, t)
+	}
+	if math.IsNaN(y) {
+		return 0, fmt.Errorf("%w: level NaN", ErrBadQuery)
+	}
+	// Support bounds: Y(t) ∈ [min r·t, max r·t].
+	minR, maxR := rateRange(m.Rates)
+	if t == 0 {
+		if y >= 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if y >= maxR*t {
+		return 1, nil
+	}
+	if y < minR*t {
+		return 0, nil
+	}
+	// Shift rewards so the minimum rate is zero: Y(t) = minR·t + Y'(t)
+	// with Y' having non-negative rates. The inversion then works on a
+	// non-negative random variable, which Euler summation requires.
+	shifted := make([]float64, len(m.Rates))
+	for i, r := range m.Rates {
+		shifted[i] = r - minR
+	}
+	yPrime := y - minR*t
+	if yPrime <= 0 {
+		// Left edge of the support: Pr{Y' ≤ 0} = Pr{Y' = 0}, the
+		// probability of spending all of [0, t] in minimum-rate states.
+		// The inversion cannot resolve the boundary atom, so compute it
+		// directly via the taboo process restricted to those states.
+		return atomAtZero(m, shifted, t), nil
+	}
+	return invert(m, shifted, t, yPrime)
+}
+
+// EnergyDepletionCDF returns Pr{Y(t) ≥ capacity} at each time — the
+// exact battery-lifetime CDF of a c = 1 battery under the workload MRM,
+// by first-passage duality. All reward rates must be non-negative (they
+// are currents) and capacity positive.
+func EnergyDepletionCDF(m mrm.ConstantReward, capacity float64, times []float64) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("performability: %w", err)
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("%w: capacity %v", ErrBadQuery, capacity)
+	}
+	for _, r := range m.Rates {
+		if r < 0 {
+			return nil, fmt.Errorf("%w: negative reward rate %v (currents required)", ErrBadQuery, r)
+		}
+	}
+	out := make([]float64, len(times))
+	for k, t := range times {
+		f, err := Distribution(m, t, capacity)
+		if err != nil {
+			return nil, err
+		}
+		p := 1 - f
+		out[k] = math.Min(1, math.Max(0, p))
+	}
+	return out, nil
+}
+
+func rateRange(rates []float64) (minR, maxR float64) {
+	minR, maxR = rates[0], rates[0]
+	for _, r := range rates[1:] {
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	return minR, maxR
+}
+
+// atomAtZero returns Pr{X(s) in zero-rate states for all s ≤ t}, the
+// probability mass of the shifted reward at zero, via the sub-generator
+// restricted to the zero-rate states.
+func atomAtZero(m mrm.ConstantReward, shifted []float64, t float64) float64 {
+	var zero []int
+	for i, r := range shifted {
+		if r == 0 {
+			zero = append(zero, i)
+		}
+	}
+	if len(zero) == 0 {
+		return 0
+	}
+	// Taboo transient solution on the restricted sub-generator.
+	sub := linalg.NewMatC(len(zero))
+	pos := make(map[int]int, len(zero))
+	for k, i := range zero {
+		pos[i] = k
+	}
+	for k, i := range zero {
+		m.Chain.Generator().Row(i, func(col int, v float64) {
+			if kk, ok := pos[col]; ok {
+				sub.Set(k, kk, complex(v*t, 0))
+			}
+		})
+	}
+	exp := sub.Exp()
+	alpha := make([]complex128, len(zero))
+	for k, i := range zero {
+		alpha[k] = complex(m.Initial[i], 0)
+	}
+	row, err := exp.MulVecLeft(alpha)
+	if err != nil {
+		return 0 // cannot happen: dimensions match by construction
+	}
+	sum := 0.0
+	for _, v := range row {
+		sum += real(v)
+	}
+	return math.Min(1, math.Max(0, sum))
+}
+
+// transform evaluates φ(s) = α·exp((Q − s·R)t)·𝟙 for complex s.
+func transform(m mrm.ConstantReward, shifted []float64, t float64, s complex128) complex128 {
+	n := m.Chain.NumStates()
+	a := linalg.NewMatC(n)
+	for i := 0; i < n; i++ {
+		m.Chain.Generator().Row(i, func(col int, v float64) {
+			a.Set(i, col, a.At(i, col)+complex(v, 0))
+		})
+		a.Set(i, i, a.At(i, i)-s*complex(shifted[i], 0))
+	}
+	a.Scale(complex(t, 0))
+	exp := a.Exp()
+	alpha := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		alpha[i] = complex(m.Initial[i], 0)
+	}
+	row, err := exp.MulVecLeft(alpha)
+	if err != nil {
+		return 0 // cannot happen: dimensions match by construction
+	}
+	var sum complex128
+	for _, v := range row {
+		sum += v
+	}
+	return sum
+}
+
+// invert computes Pr{Y'(t) ≤ y} by Abate–Whitt Euler summation of the
+// Bromwich integral for φ(s)/s.
+func invert(m mrm.ConstantReward, shifted []float64, t, y float64) (float64, error) {
+	// Partial sums of the alternating series.
+	fhat := func(s complex128) complex128 {
+		return transform(m, shifted, t, s) / s
+	}
+	base := eulerA / (2 * y)
+	sum := 0.5 * real(fhat(complex(base, 0)))
+	partial := make([]float64, 0, eulerN+eulerM+1)
+	for k := 1; k <= eulerN+eulerM; k++ {
+		term := real(fhat(complex(base, float64(k)*math.Pi/y)))
+		if k%2 == 1 {
+			term = -term
+		}
+		sum += term
+		if k >= eulerN {
+			partial = append(partial, sum)
+		}
+	}
+	// Binomial (Euler) averaging of the last m+1 partial sums.
+	avg := 0.0
+	binom := 1.0
+	total := 0.0
+	for j := 0; j <= eulerM; j++ {
+		avg += binom * partial[j]
+		total += binom
+		binom *= float64(eulerM-j) / float64(j+1)
+	}
+	avg /= total
+	f := math.Exp(eulerA/2) / y * avg
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("%w: inversion diverged at t=%v y=%v", ErrBadQuery, t, y)
+	}
+	return math.Min(1, math.Max(0, f)), nil
+}

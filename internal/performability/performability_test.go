@@ -1,0 +1,255 @@
+package performability
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batlife/internal/ctmc"
+	"batlife/internal/mrm"
+	"batlife/internal/units"
+	"batlife/internal/workload"
+)
+
+func singleState(t *testing.T, rate float64) mrm.ConstantReward {
+	t.Helper()
+	var b ctmc.Builder
+	b.State("only")
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mrm.ConstantReward{Chain: chain, Rates: []float64{rate}, Initial: []float64{1}}
+}
+
+func onOff(t *testing.T, a, b float64, rates []float64, start int) mrm.ConstantReward {
+	t.Helper()
+	var bld ctmc.Builder
+	bld.Transition("on", "off", a)
+	bld.Transition("off", "on", b)
+	chain, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mrm.ConstantReward{
+		Chain:   chain,
+		Rates:   rates,
+		Initial: chain.PointDistribution(start),
+	}
+}
+
+func TestDeterministicReward(t *testing.T) {
+	m := singleState(t, 2)
+	cases := []struct {
+		y    float64
+		want float64
+	}{
+		{19, 0}, {21, 1}, {-1, 0}, {1e9, 1},
+	}
+	for _, tc := range cases {
+		got, err := Distribution(m, 10, tc.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("F(10, %v) = %v, want %v", tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestZeroTime(t *testing.T) {
+	m := singleState(t, 2)
+	if f, err := Distribution(m, 0, 0.5); err != nil || f != 1 {
+		t.Errorf("F(0, 0.5) = %v (%v), want 1", f, err)
+	}
+	if f, err := Distribution(m, 0, -0.5); err != nil || f != 0 {
+		t.Errorf("F(0, -0.5) = %v (%v), want 0", f, err)
+	}
+}
+
+func TestAtomAtLowerBound(t *testing.T) {
+	// Starting in the zero-reward off state with switch rate b:
+	// Pr{Y(t) = 0} = Pr{no jump by t} = e^{−b·t}.
+	m := onOff(t, 2, 3, []float64{1, 0}, 1)
+	for _, tm := range []float64{0.5, 1, 2} {
+		got, err := Distribution(m, tm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-3 * tm)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("atom at t=%v: %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestAtomWithShiftedRates(t *testing.T) {
+	// Same atom computation must survive a non-zero minimum rate: with
+	// rates (5, 4), Y(t) ≤ 4t + ε only if the chain never leaves off.
+	m := onOff(t, 2, 3, []float64{5, 4}, 1)
+	got, err := Distribution(m, 1, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("shifted atom = %v, want %v", got, want)
+	}
+}
+
+// occupationMC estimates Pr{occupation of on ≤ y} by Monte Carlo.
+func occupationMC(t *testing.T, m mrm.ConstantReward, horizon, y float64, runs int) float64 {
+	t.Helper()
+	s := ctmc.NewSampler(m.Chain, 12345)
+	count := 0
+	for r := 0; r < runs; r++ {
+		occ := 0.0
+		for _, step := range s.Trajectory(m.Initial, horizon) {
+			occ += m.Rates[step.State] * step.Sojourn
+		}
+		if occ <= y {
+			count++
+		}
+	}
+	return float64(count) / float64(runs)
+}
+
+func TestOccupationTimeAgainstMonteCarlo(t *testing.T) {
+	m := onOff(t, 2, 2, []float64{1, 0}, 0)
+	const runs = 40000
+	for _, y := range []float64{3, 5, 6, 8} {
+		exact, err := Distribution(m, 10, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := occupationMC(t, m, 10, y, runs)
+		tol := 4 * math.Sqrt(0.25/runs) // 4σ binomial noise
+		if math.Abs(exact-mc) > tol+1e-3 {
+			t.Errorf("y=%v: exact %v vs MC %v (tol %v)", y, exact, mc, tol)
+		}
+	}
+}
+
+func TestDistributionMonotoneInY(t *testing.T) {
+	m := onOff(t, 1.3, 0.7, []float64{2, 0.5}, 0)
+	prev := -1.0
+	for y := 1.0; y <= 19; y += 1.5 {
+		f, err := Distribution(m, 10, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < prev-1e-7 {
+			t.Fatalf("F decreases at y=%v: %v -> %v", y, prev, f)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("F(10,%v) = %v out of range", y, f)
+		}
+		prev = f
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	m := singleState(t, 1)
+	if _, err := Distribution(m, -1, 1); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("negative t: err = %v", err)
+	}
+	if _, err := Distribution(m, math.NaN(), 1); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("NaN t: err = %v", err)
+	}
+	if _, err := Distribution(m, 1, math.NaN()); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("NaN y: err = %v", err)
+	}
+	bad := m
+	bad.Initial = []float64{0.5}
+	if _, err := Distribution(bad, 1, 1); !errors.Is(err, mrm.ErrBadModel) {
+		t.Errorf("bad model: err = %v", err)
+	}
+}
+
+func TestEnergyDepletionValidation(t *testing.T) {
+	m := singleState(t, 1)
+	if _, err := EnergyDepletionCDF(m, 0, []float64{1}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("zero capacity: err = %v", err)
+	}
+	neg := onOff(t, 1, 1, []float64{1, -1}, 0)
+	if _, err := EnergyDepletionCDF(neg, 1, []float64{1}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("negative rate: err = %v", err)
+	}
+}
+
+func TestEnergyDepletionDeterministic(t *testing.T) {
+	// Single state at 2 A with capacity 100 As: dead at exactly 50 s.
+	m := singleState(t, 2)
+	probs, err := EnergyDepletionCDF(m, 100, []float64{49, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 0 || probs[1] != 1 {
+		t.Errorf("probs = %v, want [0 1]", probs)
+	}
+}
+
+func TestSimpleModelExactCurveMatchesPaper(t *testing.T) {
+	// Figure 10, rightmost curve (C = 800 mAh, c = 1): the battery is
+	// almost surely empty after about 25 hours, and still almost surely
+	// alive at 10 hours.
+	w, err := workload.Simple(workload.SimpleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	capacity := units.MilliampHours(800).AmpereSeconds()
+	times := []float64{10 * 3600, 20 * 3600, 25 * 3600, 30 * 3600}
+	probs, err := EnergyDepletionCDF(m, capacity, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] > 0.05 {
+		t.Errorf("Pr[empty at 10 h] = %v, want near 0", probs[0])
+	}
+	if probs[2] < 0.98 {
+		t.Errorf("Pr[empty at 25 h] = %v, paper: surely empty after ~25 h", probs[2])
+	}
+	for i := 1; i < len(probs); i++ {
+		if probs[i] < probs[i-1]-1e-7 {
+			t.Errorf("depletion CDF not monotone: %v", probs)
+		}
+	}
+}
+
+func TestExactCurveConsistentWithExpectedEnergy(t *testing.T) {
+	// The median depletion time must bracket the time at which the
+	// expected accumulated energy crosses the capacity.
+	w, err := workload.Simple(workload.SimpleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	capacity := units.MilliampHours(800).AmpereSeconds()
+	// Steady-state mean current: 0.5·8 + 0.25·200 + 0.25·0 = 54 mA →
+	// expected crossing at 800/54 ≈ 14.8 h.
+	cross := capacity / 0.054 / 3600
+	lo, hi := (cross-2)*3600, (cross+2)*3600
+	probs, err := EnergyDepletionCDF(m, capacity, []float64{lo, hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(probs[0] < 0.5 && probs[1] > 0.4) {
+		t.Errorf("median not near expected crossing %.1f h: Pr = %v", cross, probs)
+	}
+}
+
+func BenchmarkDistributionSimpleModel(b *testing.B) {
+	w, err := workload.Simple(workload.SimpleConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mrm.ConstantReward{Chain: w.Chain, Rates: w.Currents, Initial: w.Initial}
+	capacity := units.MilliampHours(800).AmpereSeconds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distribution(m, 20*3600, capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

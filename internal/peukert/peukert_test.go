@@ -1,0 +1,223 @@
+package peukert
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdealLifetime(t *testing.T) {
+	b := Ideal{Capacity: 7200}
+	life, err := b.Lifetime(0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 7500.0; math.Abs(life-want) > 1e-12 {
+		t.Errorf("lifetime = %v, want %v", life, want)
+	}
+}
+
+func TestIdealErrors(t *testing.T) {
+	if _, err := (Ideal{Capacity: 0}).Lifetime(1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero capacity: err = %v", err)
+	}
+	if _, err := (Ideal{Capacity: 1}).Lifetime(0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero current: err = %v", err)
+	}
+}
+
+func TestLawReducesToIdealAtBOne(t *testing.T) {
+	law := Law{A: 7200, B: 1}
+	life, err := law.Lifetime(0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life-7500) > 1e-9 {
+		t.Errorf("lifetime = %v, want 7500", life)
+	}
+}
+
+func TestLawPenalisesHighCurrent(t *testing.T) {
+	// With b > 1, doubling the current must more than halve the
+	// lifetime.
+	law := Law{A: 7200, B: 1.2}
+	l1, err := law.Lifetime(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := law.Lifetime(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1/2 {
+		t.Errorf("lifetime at 1A = %v, not below half of %v", l2, l1)
+	}
+}
+
+func TestLawValidate(t *testing.T) {
+	cases := []Law{{A: 0, B: 1.2}, {A: -1, B: 1.2}, {A: 1, B: 0.9}, {A: math.NaN(), B: 1.2}}
+	for _, law := range cases {
+		if err := law.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadParams", law, err)
+		}
+	}
+}
+
+func TestLifetimeAverage(t *testing.T) {
+	law := Law{A: 7200, B: 1.1}
+	full, err := law.Lifetime(0.48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := law.LifetimeAverage(0.96, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != full {
+		t.Errorf("duty-cycle average %v != constant-average %v", avg, full)
+	}
+	if _, err := law.LifetimeAverage(1, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero duty: err = %v", err)
+	}
+	if _, err := law.LifetimeAverage(1, 1.5); !errors.Is(err, ErrBadParams) {
+		t.Errorf("duty > 1: err = %v", err)
+	}
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	orig := Law{A: 5400, B: 1.3}
+	l1, err := orig.Lifetime(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := orig.Lifetime(1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fit(0.3, l1, 1.7, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-orig.A) > 1e-6*orig.A || math.Abs(got.B-orig.B) > 1e-9 {
+		t.Errorf("fit = %+v, want %+v", got, orig)
+	}
+}
+
+func TestFitRoundTripProperty(t *testing.T) {
+	f := func(rawA, rawB, rawI1, rawI2 float64) bool {
+		a := 100 + math.Abs(math.Mod(rawA, 1e4))
+		b := 1 + math.Abs(math.Mod(rawB, 0.8))
+		i1 := 0.1 + math.Abs(math.Mod(rawI1, 3))
+		i2 := 0.1 + math.Abs(math.Mod(rawI2, 3))
+		if math.Abs(i1-i2) < 1e-3 {
+			return true
+		}
+		orig := Law{A: a, B: b}
+		l1, err1 := orig.Lifetime(i1)
+		l2, err2 := orig.Lifetime(i2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		got, err := Fit(i1, l1, i2, l2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.A-a) < 1e-5*a && math.Abs(got.B-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitSweepRecoversExactLaw(t *testing.T) {
+	orig := Law{A: 6000, B: 1.25}
+	var points []Measurement
+	for _, i := range []float64{0.2, 0.5, 1.0, 2.0, 4.0} {
+		l, err := orig.Lifetime(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, Measurement{Current: i, Lifetime: l})
+	}
+	got, err := FitSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-orig.A) > 1e-6*orig.A || math.Abs(got.B-orig.B) > 1e-9 {
+		t.Errorf("sweep fit = %+v, want %+v", got, orig)
+	}
+}
+
+func TestFitSweepMatchesFitForTwoPoints(t *testing.T) {
+	orig := Law{A: 5400, B: 1.3}
+	l1, err := orig.Lifetime(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := orig.Lifetime(1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Fit(0.3, l1, 1.7, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := FitSweep([]Measurement{{0.3, l1}, {1.7, l2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two.A-sweep.A) > 1e-6*two.A || math.Abs(two.B-sweep.B) > 1e-9 {
+		t.Errorf("two-point %+v vs sweep %+v", two, sweep)
+	}
+}
+
+func TestFitSweepAveragesNoise(t *testing.T) {
+	// Noisy measurements around a known law: the fitted exponent must
+	// land near the truth (least squares averages the noise out).
+	orig := Law{A: 6000, B: 1.2}
+	noise := []float64{1.02, 0.97, 1.01, 0.99, 1.03, 0.98}
+	var points []Measurement
+	for j, i := range []float64{0.2, 0.4, 0.8, 1.6, 3.2, 6.4} {
+		l, err := orig.Lifetime(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, Measurement{Current: i, Lifetime: l * noise[j]})
+	}
+	got, err := FitSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.B-orig.B) > 0.05 {
+		t.Errorf("fitted exponent %v, want ≈ %v", got.B, orig.B)
+	}
+}
+
+func TestFitSweepErrors(t *testing.T) {
+	if _, err := FitSweep(nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := FitSweep([]Measurement{{1, 100}}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("single point: err = %v", err)
+	}
+	if _, err := FitSweep([]Measurement{{1, 100}, {1, 90}}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("single current: err = %v", err)
+	}
+	if _, err := FitSweep([]Measurement{{1, 100}, {-2, 90}}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative current: err = %v", err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(1, 100, 1, 50); !errors.Is(err, ErrBadParams) {
+		t.Errorf("same currents: err = %v", err)
+	}
+	if _, err := Fit(-1, 100, 2, 50); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative current: err = %v", err)
+	}
+	// Lifetimes increasing with current would need b < 1.
+	if _, err := Fit(1, 100, 2, 200); !errors.Is(err, ErrBadParams) {
+		t.Errorf("inverted measurements: err = %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+package rao
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"batlife/internal/kibam"
+)
+
+// calibrated returns the modified-KiBaM battery fitted to the paper's
+// procedure: continuous 0.96 A load lasts 90 minutes.
+func calibrated(t *testing.T) Params {
+	t.Helper()
+	k, err := CalibrateK(7200, 0.625, 1, 0.96, 90*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Params{Capacity: 7200, C: 0.625, K: k}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"good", Params{Capacity: 7200, C: 0.625, K: 4.5e-5}, false},
+		{"c=1 not allowed", Params{Capacity: 7200, C: 1, K: 4.5e-5}, true},
+		{"bad capacity", Params{Capacity: 0, C: 0.5, K: 1e-5}, true},
+		{"negative gamma", Params{Capacity: 1, C: 0.5, K: 1e-5, Gamma: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadParams) {
+				t.Errorf("error %v does not wrap ErrBadParams", err)
+			}
+		})
+	}
+}
+
+func TestFlowDampedByBoundHeight(t *testing.T) {
+	p := Params{Capacity: 7200, C: 0.625, K: 4.5e-5}
+	// Same height difference, less bound charge: the modified flow must
+	// be smaller. Construct two states with identical h2−h1.
+	full := kibam.State{Y1: 2000, Y2: 2400}   // h1=3200, h2=6400, diff 3200
+	drained := kibam.State{Y1: 500, Y2: 1500} // h1=800,  h2=4000, diff 3200
+	plain := kibam.Params{Capacity: p.Capacity, C: p.C, K: p.K}
+	if d1, d2 := plain.HeightDiff(full), plain.HeightDiff(drained); math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("test states have different height gaps: %v vs %v", d1, d2)
+	}
+	if f1, f2 := p.flow(full), p.flow(drained); f2 >= f1 {
+		t.Errorf("flow with drained bound well %v not below %v", f2, f1)
+	}
+}
+
+func TestFlowGating(t *testing.T) {
+	p := Params{Capacity: 7200, C: 0.625, K: 4.5e-5}
+	if f := p.flow(kibam.State{Y1: 1000, Y2: 0}); f != 0 {
+		t.Errorf("flow with empty bound well = %v", f)
+	}
+	// Bound well lower than available well: no reverse flow.
+	if f := p.flow(kibam.State{Y1: 4500, Y2: 100}); f != 0 {
+		t.Errorf("uphill flow = %v", f)
+	}
+}
+
+func TestStepConservesChargeDuringRest(t *testing.T) {
+	p := calibrated(t)
+	loaded := p.Step(p.FullState(), 0.96, 2000, 0)
+	rested := p.Step(loaded, 0, 3000, 0)
+	if math.Abs(rested.Total()-loaded.Total()) > 1e-6 {
+		t.Errorf("rest changed total: %v -> %v", loaded.Total(), rested.Total())
+	}
+	if rested.Y1 <= loaded.Y1 {
+		t.Errorf("no recovery: %v -> %v", loaded.Y1, rested.Y1)
+	}
+}
+
+func TestRecoverySlowerThanPlainKiBaM(t *testing.T) {
+	// With identical constants, the modified model must recover less
+	// during the same rest period (that is its whole point).
+	k := 4.5e-5
+	mod := Params{Capacity: 7200, C: 0.625, K: k}
+	plain := kibam.Params{Capacity: 7200, C: 0.625, K: k}
+	loadedPlain := plain.Step(plain.FullState(), 0.96, 2000)
+	loadedMod := mod.Step(mod.FullState(), 0.96, 2000, 0)
+	gainPlain := plain.Step(loadedPlain, 0, 1000).Y1 - loadedPlain.Y1
+	gainMod := mod.Step(loadedMod, 0, 1000, 0).Y1 - loadedMod.Y1
+	if gainMod >= gainPlain {
+		t.Errorf("modified recovery %v not below plain %v", gainMod, gainPlain)
+	}
+}
+
+func TestCalibrationHitsTarget(t *testing.T) {
+	p := calibrated(t)
+	life, err := p.Lifetime(kibam.ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1, modified KiBaM numerical, continuous: 89-90 min.
+	if math.Abs(life/60-90) > 0.5 {
+		t.Errorf("continuous lifetime = %v min, want 90", life/60)
+	}
+}
+
+func TestCalibrateKErrors(t *testing.T) {
+	if _, err := CalibrateK(7200, 0.625, 1, 0.96, 1000); !errors.Is(err, ErrBadParams) {
+		t.Errorf("unreachably low target: err = %v", err)
+	}
+	if _, err := CalibrateK(7200, 0.625, 1, 0.96, 9000); !errors.Is(err, ErrBadParams) {
+		t.Errorf("unreachably high target: err = %v", err)
+	}
+	if _, err := CalibrateK(7200, 0.625, 1, 0, 5400); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero load: err = %v", err)
+	}
+}
+
+func TestNumericalLifetimeFrequencyIndependent(t *testing.T) {
+	// Table 1, "Modified KiBaM numerical": 193 min at 1 Hz and at
+	// 0.2 Hz — the deterministic evaluation shows no frequency
+	// dependence, which is the discrepancy the paper reports.
+	p := calibrated(t)
+	l1, err := p.Lifetime(kibam.SquareWave{On: 0.96, Frequency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l02, err := p.Lifetime(kibam.SquareWave{On: 0.96, Frequency: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(l1-l02) / 60; diff > 1 {
+		t.Errorf("deterministic lifetimes differ by %v min across frequencies", diff)
+	}
+	// The absolute value must be near the paper's 193 (we measure ~195
+	// with our reconstruction of the recovery damping).
+	if min := l1 / 60; math.Abs(min-193) > 5 {
+		t.Errorf("1 Hz lifetime = %v min, paper reports 193", min)
+	}
+}
+
+func TestStochasticLifetimeFrequencyDependent(t *testing.T) {
+	// The stochastic variant must live longer at 0.2 Hz than at 1 Hz —
+	// the qualitative behaviour of the experimental data (230 vs 193)
+	// that deterministic evaluation cannot show.
+	p := calibrated(t)
+	sp := StochasticParams{Params: p}
+	m1, _, err := sp.MeanLifetime(1, 10, kibam.SquareWave{On: 0.96, Frequency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m02, _, err := sp.MeanLifetime(2, 10, kibam.SquareWave{On: 0.96, Frequency: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m02 <= m1 {
+		t.Errorf("stochastic lifetime at 0.2 Hz (%v min) not above 1 Hz (%v min)", m02/60, m1/60)
+	}
+}
+
+func TestStochasticContinuousMatchesDeterministic(t *testing.T) {
+	// Without idle periods the activation mechanism is irrelevant.
+	p := calibrated(t)
+	det, err := p.Lifetime(kibam.ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := StochasticParams{Params: p}
+	life, err := sp.SimulateLifetime(rand.New(rand.NewSource(3)), kibam.ConstantLoad(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life-det) > 1 {
+		t.Errorf("stochastic continuous %v vs deterministic %v", life, det)
+	}
+}
+
+func TestStochasticReproducibleWithSeed(t *testing.T) {
+	p := calibrated(t)
+	sp := StochasticParams{Params: p}
+	w := kibam.SquareWave{On: 0.96, Frequency: 0.5}
+	a, err := sp.SimulateLifetime(rand.New(rand.NewSource(7)), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.SimulateLifetime(rand.New(rand.NewSource(7)), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different lifetimes: %v vs %v", a, b)
+	}
+}
+
+func TestMeanLifetimeErrors(t *testing.T) {
+	p := calibrated(t)
+	sp := StochasticParams{Params: p}
+	if _, _, err := sp.MeanLifetime(1, 0, kibam.ConstantLoad(1)); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero runs: err = %v", err)
+	}
+	if _, err := p.Lifetime(kibam.ConstantLoad(0)); !errors.Is(err, ErrNoDepletion) {
+		t.Errorf("zero load: err = %v", err)
+	}
+}
+
+func TestHigherGammaDampsMore(t *testing.T) {
+	w := kibam.SquareWave{On: 0.96, Frequency: 1}
+	base := Params{Capacity: 7200, C: 0.625, K: 4.5e-5, Gamma: 1}
+	strong := Params{Capacity: 7200, C: 0.625, K: 4.5e-5, Gamma: 3}
+	l1, err := base.Lifetime(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := strong.Lifetime(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3 >= l1 {
+		t.Errorf("gamma=3 lifetime %v not below gamma=1 lifetime %v", l3, l1)
+	}
+}
+
+func BenchmarkNumericalLifetime1Hz(b *testing.B) {
+	k, err := CalibrateK(7200, 0.625, 1, 0.96, 90*60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{Capacity: 7200, C: 0.625, K: k}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Lifetime(kibam.SquareWave{On: 0.96, Frequency: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStochasticLifetime(b *testing.B) {
+	k, err := CalibrateK(7200, 0.625, 1, 0.96, 90*60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := StochasticParams{Params: Params{Capacity: 7200, C: 0.625, K: k}}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.SimulateLifetime(rng, kibam.SquareWave{On: 0.96, Frequency: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"batlife/internal/ctmc"
+	"batlife/internal/dist"
+	"batlife/internal/kibam"
+	"batlife/internal/mrm"
+	"batlife/internal/units"
+	"batlife/internal/workload"
+)
+
+func onOffModel(t *testing.T, c, k float64) mrm.KiBaMRM {
+	t.Helper()
+	w, err := workload.OnOff(1, 1, units.Amperes(0.96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mrm.KiBaMRM{
+		Workload: w.Chain,
+		Currents: w.Currents,
+		Initial:  w.Initial,
+		Battery:  kibam.Params{Capacity: 7200, C: c, K: k},
+	}
+}
+
+func TestLifetimesReproducible(t *testing.T) {
+	m := onOffModel(t, 1, 0)
+	a, err := Lifetimes(m, 42, Options{Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lifetimes(m, 42, Options{Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := dist.KSBetween(a, b); ks != 0 {
+		t.Errorf("same seed, KS distance %v", ks)
+	}
+}
+
+func TestOnOffLifetimeNearDeterministic(t *testing.T) {
+	// §6.1: the f = 1 Hz, c = 1 on/off lifetime is close to
+	// deterministic with mean ≈ 15000 s (the on-time needed is
+	// C/I = 7500 s, half the wall clock).
+	m := onOffModel(t, 1, 0)
+	e, err := Lifetimes(m, 1, Options{Runs: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := e.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-15000) > 200 {
+		t.Errorf("mean lifetime = %v, want ≈ 15000", mean)
+	}
+	std, err := e.Std()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total on-time is Erlang(7500, 2): sd of lifetime ≈ 2·sd(on-time)
+	// ≈ 2·√7500/2 ≈ 122 s — a tightly concentrated distribution.
+	if std < 50 || std > 400 {
+		t.Errorf("lifetime std = %v, want a few hundred seconds", std)
+	}
+	if e.Censored() != 0 {
+		t.Errorf("%d censored runs", e.Censored())
+	}
+}
+
+func TestErlangKSharpensDistribution(t *testing.T) {
+	// §6.1: for larger Erlang order K the simulated lifetime gets even
+	// closer to deterministic.
+	build := func(k int) float64 {
+		w, err := workload.OnOff(1, k, units.Amperes(0.96))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mrm.KiBaMRM{
+			Workload: w.Chain, Currents: w.Currents, Initial: w.Initial,
+			Battery: kibam.Params{Capacity: 7200, C: 1, K: 0},
+		}
+		e, err := Lifetimes(m, 7, Options{Runs: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := e.Std()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return std
+	}
+	if s1, s8 := build(1), build(8); s8 >= s1 {
+		t.Errorf("K=8 std %v not below K=1 std %v", s8, s1)
+	}
+}
+
+func TestTwoWellSimulationMatchesAnalyticMedian(t *testing.T) {
+	// The simulated two-well lifetime should be concentrated near the
+	// deterministic square-wave lifetime of the analytic KiBaM
+	// (~203 min = 12180 s), since exponential on/off times at 1 Hz
+	// average out over thousands of cycles.
+	m := onOffModel(t, 0.625, 4.5e-5)
+	e, err := Lifetimes(m, 3, Options{Runs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := e.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := m.Battery.Lifetime(kibam.SquareWave{On: 0.96, Frequency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-det) > 0.05*det {
+		t.Errorf("simulated median %v vs deterministic %v", med, det)
+	}
+}
+
+func TestRecoveryExtendsSimulatedLifetime(t *testing.T) {
+	noTransfer := onOffModel(t, 0.625, 0)
+	withTransfer := onOffModel(t, 0.625, 4.5e-5)
+	a, err := Lifetimes(noTransfer, 5, Options{Runs: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lifetimes(withTransfer, 5, Options{Runs: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := a.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb <= ma {
+		t.Errorf("transfer did not extend lifetime: %v vs %v", ma, mb)
+	}
+}
+
+func TestCensoring(t *testing.T) {
+	// A tiny horizon censors every run.
+	m := onOffModel(t, 1, 0)
+	e, err := Lifetimes(m, 1, Options{Runs: 20, MaxTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Censored() != 20 {
+		t.Errorf("censored = %d, want all 20", e.Censored())
+	}
+}
+
+func TestAbsorbingZeroCurrentState(t *testing.T) {
+	// A workload that falls into a non-drawing absorbing state leaves
+	// the battery alive forever: the run must censor, not spin.
+	var b ctmc.Builder
+	b.Transition("on", "dead", 5)
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.KiBaMRM{
+		Workload: chain,
+		Currents: []float64{0.5, 0},
+		Initial:  chain.PointDistribution(chain.Index("on")),
+		Battery:  kibam.Params{Capacity: 7200, C: 1, K: 0},
+	}
+	e, err := Lifetimes(m, 2, Options{Runs: 30, MaxTime: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With mean 0.2 s in "on" before death, no run should deplete
+	// 7200 As at 0.5 A (needs 14400 s on-time).
+	if e.Censored() != 30 {
+		t.Errorf("censored = %d, want 30", e.Censored())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	m := onOffModel(t, 1, 0)
+	bad := m
+	bad.Currents = []float64{1}
+	if _, err := Lifetimes(bad, 1, Options{Runs: 5}); !errors.Is(err, mrm.ErrBadModel) {
+		t.Errorf("invalid model: err = %v", err)
+	}
+	zero := m
+	zero.Currents = []float64{0, 0}
+	if _, err := Lifetimes(zero, 1, Options{Runs: 5}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("no current: err = %v", err)
+	}
+}
+
+func TestCurveAt(t *testing.T) {
+	m := onOffModel(t, 1, 0)
+	times := []float64{10000, 15000, 20000}
+	curve, err := CurveAt(m, 9, Options{Runs: 100}, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0] > 0.05 || curve[2] < 0.95 {
+		t.Errorf("curve = %v, want ≈ [0, ·, 1]", curve)
+	}
+	if curve[1] < 0.2 || curve[1] > 0.8 {
+		t.Errorf("median point = %v, want interior", curve[1])
+	}
+}
+
+func TestSimulationAgreesWithMarkovianApproximation(t *testing.T) {
+	// Cross-validation of the two solution methods on the simple
+	// wireless model (hour-scale): the simulated CDF and the
+	// fine-grid approximation must agree within Monte-Carlo noise.
+	// (Tested here via the analytic Erlang form of the always-on model
+	// to stay fast; the full cross-check lives in the integration
+	// tests at the repository root.)
+	var b ctmc.Builder
+	b.State("on")
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mrm.KiBaMRM{
+		Workload: chain,
+		Currents: []float64{2},
+		Initial:  []float64{1},
+		Battery:  kibam.Params{Capacity: 1000, C: 1, K: 0},
+	}
+	e, err := Lifetimes(m, 11, Options{Runs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic lifetime C/I = 500 s for every run.
+	if e.Min() != e.Max() || math.Abs(e.Min()-500) > 1e-9 {
+		t.Errorf("always-on lifetimes [%v, %v], want exactly 500", e.Min(), e.Max())
+	}
+}

@@ -1,0 +1,195 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildFrom(t *testing.T, n int, entries map[[2]int]float64) *CSR {
+	t.Helper()
+	b := NewBuilder(n, n, len(entries))
+	for pos, v := range entries {
+		b.Add(pos[0], pos[1], v)
+	}
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGaussSeidelKnownSystem(t *testing.T) {
+	// 4x - y = 7; -x + 3y = 1  →  x = 22/11 = 2, y = 1.
+	a := buildFrom(t, 2, map[[2]int]float64{
+		{0, 0}: 4, {0, 1}: -1,
+		{1, 0}: -1, {1, 1}: 3,
+	})
+	x := make([]float64, 2)
+	sweeps, err := GaussSeidel(a, x, []float64{7, 1}, GaussSeidelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps <= 0 {
+		t.Errorf("sweeps = %d", sweeps)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-1) > 1e-10 {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestGaussSeidelLargeDominantSystem(t *testing.T) {
+	// Random strictly diagonally dominant system; verify the residual.
+	rng := rand.New(rand.NewSource(1))
+	const n = 500
+	b := NewBuilder(n, n, n*6)
+	rowAbs := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for k := 0; k < 4; k++ {
+			c := rng.Intn(n)
+			if c == r {
+				continue
+			}
+			v := rng.NormFloat64()
+			b.Add(r, c, v)
+			rowAbs[r] += math.Abs(v)
+		}
+	}
+	for r := 0; r < n; r++ {
+		b.Add(r, r, rowAbs[r]+1+rng.Float64())
+	}
+	a, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	if _, err := GaussSeidel(a, x, rhs, GaussSeidelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ax := make([]float64, n)
+	if err := a.MulVec(ax, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ax {
+		if math.Abs(ax[i]-rhs[i]) > 1e-8 {
+			t.Fatalf("residual %v at row %d", ax[i]-rhs[i], i)
+		}
+	}
+}
+
+func TestGaussSeidelBidiagonalChain(t *testing.T) {
+	// The absorption-time structure: m_j·q − m_{j-1}·q = 1 with m_0
+	// known — lower-bidiagonal systems solve in one sweep exactly.
+	const n = 1000
+	q := 2.5
+	b := NewBuilder(n, n, 2*n)
+	for r := 0; r < n; r++ {
+		b.Add(r, r, q)
+		if r > 0 {
+			b.Add(r, r-1, -q)
+		}
+	}
+	a, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x := make([]float64, n)
+	sweeps, err := GaussSeidel(a, x, rhs, GaussSeidelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps > 2 {
+		t.Errorf("lower-triangular chain took %d sweeps, want <= 2", sweeps)
+	}
+	// m_j = (j+1)/q.
+	for j := 0; j < n; j++ {
+		if want := float64(j+1) / q; math.Abs(x[j]-want) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], want)
+		}
+	}
+}
+
+func TestGaussSeidelZeroDiagonal(t *testing.T) {
+	a := buildFrom(t, 2, map[[2]int]float64{{0, 0}: 1, {0, 1}: 1, {1, 0}: 1})
+	x := make([]float64, 2)
+	if _, err := GaussSeidel(a, x, []float64{1, 1}, GaussSeidelOptions{}); !errors.Is(err, ErrZeroDiagonal) {
+		t.Errorf("err = %v, want ErrZeroDiagonal", err)
+	}
+}
+
+func TestGaussSeidelDivergence(t *testing.T) {
+	// Off-diagonal dominance makes Gauss–Seidel diverge.
+	a := buildFrom(t, 2, map[[2]int]float64{
+		{0, 0}: 1, {0, 1}: 3,
+		{1, 0}: 3, {1, 1}: 1,
+	})
+	x := make([]float64, 2)
+	if _, err := GaussSeidel(a, x, []float64{1, 1}, GaussSeidelOptions{MaxIterations: 200}); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestGaussSeidelShapeErrors(t *testing.T) {
+	a := buildFrom(t, 2, map[[2]int]float64{{0, 0}: 1, {1, 1}: 1})
+	if _, err := GaussSeidel(a, make([]float64, 1), make([]float64, 2), GaussSeidelOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("short x: err = %v", err)
+	}
+	rect, err := NewBuilder(2, 3, 0).Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GaussSeidel(rect, make([]float64, 2), make([]float64, 2), GaussSeidelOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("rectangular: err = %v", err)
+	}
+}
+
+func TestGaussSeidelWarmStart(t *testing.T) {
+	a := buildFrom(t, 2, map[[2]int]float64{
+		{0, 0}: 4, {0, 1}: -1,
+		{1, 0}: -1, {1, 1}: 3,
+	})
+	// Starting at the exact solution must converge immediately.
+	x := []float64{2, 1}
+	sweeps, err := GaussSeidel(a, x, []float64{7, 1}, GaussSeidelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps != 1 {
+		t.Errorf("warm start took %d sweeps", sweeps)
+	}
+}
+
+func BenchmarkGaussSeidelChain(b *testing.B) {
+	const n = 100000
+	bu := NewBuilder(n, n, 2*n)
+	for r := 0; r < n; r++ {
+		bu.Add(r, r, 2.0)
+		if r > 0 {
+			bu.Add(r, r-1, -2.0)
+		}
+	}
+	a, err := bu.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		if _, err := GaussSeidel(a, x, rhs, GaussSeidelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package sparse implements the sparse-matrix substrate for the expanded
+// CTMCs produced by the Markovian approximation algorithm of the paper.
+//
+// The expanded generator Q* of Section 5 has N·n1·n2 states (up to a few
+// million at the paper's finest step size Δ=5) with at most a handful of
+// nonzeros per row, so a compressed sparse row (CSR) representation with
+// 32-bit column indices is used. Matrices are assembled through a
+// coordinate (COO) Builder and then frozen into an immutable CSR matrix
+// whose vector products can run in parallel.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ErrShape reports a dimension mismatch between a matrix and a vector or
+// between two matrices.
+var ErrShape = errors.New("sparse: dimension mismatch")
+
+// Builder accumulates coordinate-format entries for a rows×cols matrix.
+// Duplicate entries for the same (row, col) are summed when the matrix
+// is frozen, which is convenient for generator assembly where diagonal
+// entries are accumulated as negative row sums.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+type entry struct {
+	row, col int32
+	val      float64
+}
+
+// NewBuilder returns a Builder for a rows×cols matrix. The sizeHint
+// preallocates entry storage; pass 0 if unknown.
+func NewBuilder(rows, cols, sizeHint int) *Builder {
+	return &Builder{
+		rows:    rows,
+		cols:    cols,
+		entries: make([]entry, 0, sizeHint),
+	}
+}
+
+// Rows reports the number of rows of the matrix under construction.
+func (b *Builder) Rows() int { return b.rows }
+
+// Cols reports the number of columns of the matrix under construction.
+func (b *Builder) Cols() int { return b.cols }
+
+// NNZ reports the number of entries added so far (before duplicate
+// merging).
+func (b *Builder) NNZ() int { return len(b.entries) }
+
+// Add records v at position (row, col). Zero values are skipped.
+// Out-of-range coordinates are reported at Freeze time, so assembly
+// loops stay free of per-entry error handling.
+func (b *Builder) Add(row, col int, v float64) {
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, entry{row: int32(row), col: int32(col), val: v})
+}
+
+// Freeze validates the accumulated entries, merges duplicates, and
+// returns the immutable CSR matrix.
+func (b *Builder) Freeze() (*CSR, error) {
+	for _, e := range b.entries {
+		if e.row < 0 || int(e.row) >= b.rows || e.col < 0 || int(e.col) >= b.cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d matrix: %w",
+				e.row, e.col, b.rows, b.cols, ErrShape)
+		}
+		if math.IsNaN(e.val) || math.IsInf(e.val, 0) {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) is not finite: %v", e.row, e.col, e.val)
+		}
+	}
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].row != b.entries[j].row {
+			return b.entries[i].row < b.entries[j].row
+		}
+		return b.entries[i].col < b.entries[j].col
+	})
+
+	m := &CSR{
+		rows:   b.rows,
+		cols:   b.cols,
+		rowPtr: make([]int32, b.rows+1),
+	}
+	m.colIdx = make([]int32, 0, len(b.entries))
+	m.vals = make([]float64, 0, len(b.entries))
+
+	for i := 0; i < len(b.entries); {
+		j := i
+		sum := 0.0
+		for j < len(b.entries) && b.entries[j].row == b.entries[i].row && b.entries[j].col == b.entries[i].col {
+			sum += b.entries[j].val
+			j++
+		}
+		if sum != 0 {
+			m.colIdx = append(m.colIdx, b.entries[i].col)
+			m.vals = append(m.vals, sum)
+			m.rowPtr[b.entries[i].row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < b.rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m, nil
+}
+
+// CSR is an immutable sparse matrix in compressed sparse row format.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int32
+	colIdx     []int32
+	vals       []float64
+}
+
+// Rows reports the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ reports the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the value at (row, col); absent entries are zero.
+func (m *CSR) At(row, col int) float64 {
+	if row < 0 || row >= m.rows || col < 0 || col >= m.cols {
+		return 0
+	}
+	lo, hi := int(m.rowPtr[row]), int(m.rowPtr[row+1])
+	idx := lo + sort.Search(hi-lo, func(i int) bool { return m.colIdx[lo+i] >= int32(col) })
+	if idx < hi && m.colIdx[idx] == int32(col) {
+		return m.vals[idx]
+	}
+	return 0
+}
+
+// Row iterates over the nonzeros of one row.
+func (m *CSR) Row(row int, fn func(col int, v float64)) {
+	for i := m.rowPtr[row]; i < m.rowPtr[row+1]; i++ {
+		fn(int(m.colIdx[i]), m.vals[i])
+	}
+}
+
+// RowSum returns the sum of the entries in one row.
+func (m *CSR) RowSum(row int) float64 {
+	sum := 0.0
+	for i := m.rowPtr[row]; i < m.rowPtr[row+1]; i++ {
+		sum += m.vals[i]
+	}
+	return sum
+}
+
+// MaxAbsDiagonal returns max_i |m[i,i]|, the quantity a uniformisation
+// constant must dominate for a generator matrix.
+func (m *CSR) MaxAbsDiagonal() float64 {
+	maxAbs := 0.0
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			if int(m.colIdx[i]) == r {
+				if a := math.Abs(m.vals[i]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+	}
+	return maxAbs
+}
+
+// Transpose returns the transposed matrix. Left multiplication x·M — the
+// direction uniformisation iterates — is implemented as Transpose(M)·x,
+// so transposition is done once per transient solve.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int32, m.cols+1),
+		colIdx: make([]int32, len(m.colIdx)),
+		vals:   make([]float64, len(m.vals)),
+	}
+	// Count entries per column of m.
+	for _, c := range m.colIdx {
+		t.rowPtr[c+1]++
+	}
+	for r := 0; r < t.rows; r++ {
+		t.rowPtr[r+1] += t.rowPtr[r]
+	}
+	next := make([]int32, t.rows)
+	copy(next, t.rowPtr[:t.rows])
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			c := m.colIdx[i]
+			pos := next[c]
+			t.colIdx[pos] = int32(r)
+			t.vals[pos] = m.vals[i]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// MulVec computes dst = m·x (matrix times column vector). dst and x must
+// not alias. It runs serially; see ParallelMulVec for large matrices.
+func (m *CSR) MulVec(dst, x []float64) error {
+	if len(x) != m.cols || len(dst) != m.rows {
+		return fmt.Errorf("sparse: MulVec %dx%d with |x|=%d |dst|=%d: %w",
+			m.rows, m.cols, len(x), len(dst), ErrShape)
+	}
+	for r := 0; r < m.rows; r++ {
+		sum := 0.0
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			sum += m.vals[i] * x[m.colIdx[i]]
+		}
+		dst[r] = sum
+	}
+	return nil
+}
+
+// VecMul computes dst = x·m (row vector times matrix) without
+// transposing. It is a gather-free scatter loop and therefore serial;
+// for repeated products transpose once and use MulVec.
+func (m *CSR) VecMul(dst, x []float64) error {
+	if len(x) != m.rows || len(dst) != m.cols {
+		return fmt.Errorf("sparse: VecMul %dx%d with |x|=%d |dst|=%d: %w",
+			m.rows, m.cols, len(x), len(dst), ErrShape)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			dst[m.colIdx[i]] += m.vals[i] * xr
+		}
+	}
+	return nil
+}
+
+// Dense returns the matrix as a dense row-major slice of rows, intended
+// for tests and small systems only.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.rows)
+	for r := range d {
+		d[r] = make([]float64, m.cols)
+	}
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			d[r][m.colIdx[i]] = m.vals[i]
+		}
+	}
+	return d
+}
+
+// Pool executes parallel matrix-vector products over a fixed set of
+// worker goroutines. A zero-value Pool is not valid; use NewPool. The
+// pool owns no goroutines between calls — workers are spawned per
+// product and joined before returning, so a Pool never leaks.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a Pool with the given parallelism; workers <= 0 selects
+// runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// MulVec computes dst = m·x with rows partitioned across the pool's
+// workers. dst and x must not alias.
+func (p *Pool) MulVec(m *CSR, dst, x []float64) error {
+	if len(x) != m.cols || len(dst) != m.rows {
+		return fmt.Errorf("sparse: parallel MulVec %dx%d with |x|=%d |dst|=%d: %w",
+			m.rows, m.cols, len(x), len(dst), ErrShape)
+	}
+	workers := p.workers
+	if m.rows < 4096 || workers == 1 {
+		return m.MulVec(dst, x)
+	}
+	var wg sync.WaitGroup
+	chunk := (m.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= m.rows {
+			break
+		}
+		hi := lo + chunk
+		if hi > m.rows {
+			hi = m.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				sum := 0.0
+				for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+					sum += m.vals[i] * x[m.colIdx[i]]
+				}
+				dst[r] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}

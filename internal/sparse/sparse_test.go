@@ -1,0 +1,374 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom assembles a random rows×cols matrix with the given fill
+// density and returns both the CSR form and a dense reference.
+func buildRandom(t *testing.T, rng *rand.Rand, rows, cols int, density float64) (*CSR, [][]float64) {
+	t.Helper()
+	b := NewBuilder(rows, cols, int(float64(rows*cols)*density)+1)
+	dense := make([][]float64, rows)
+	for r := range dense {
+		dense[r] = make([]float64, cols)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				b.Add(r, c, v)
+				dense[r][c] += v
+			}
+		}
+	}
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return m, dense
+}
+
+func TestBuilderFreezeBasic(t *testing.T) {
+	b := NewBuilder(2, 3, 0)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 2)
+	b.Add(1, 1, -3)
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.NNZ() != 3 {
+		t.Fatalf("shape/nnz = %d x %d / %d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	if got := m.At(0, 2); got != 2 {
+		t.Errorf("At(0,2) = %v, want 2", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Errorf("At(1,0) = %v, want 0", got)
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(1, 1, 0)
+	b.Add(0, 0, 1.5)
+	b.Add(0, 0, 2.5)
+	b.Add(0, 0, -4.0)
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	// 1.5 + 2.5 - 4 = 0: the merged entry must be dropped entirely.
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0 after cancelling duplicates", m.NNZ())
+	}
+}
+
+func TestBuilderSkipsZeros(t *testing.T) {
+	b := NewBuilder(4, 4, 0)
+	b.Add(1, 1, 0)
+	if b.NNZ() != 0 {
+		t.Errorf("NNZ = %d after adding zero, want 0", b.NNZ())
+	}
+}
+
+func TestFreezeRejectsOutOfRange(t *testing.T) {
+	for _, coords := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 3}} {
+		b := NewBuilder(2, 3, 0)
+		b.Add(coords[0], coords[1], 1)
+		if _, err := b.Freeze(); !errors.Is(err, ErrShape) {
+			t.Errorf("Freeze with entry %v: err = %v, want ErrShape", coords, err)
+		}
+	}
+}
+
+func TestFreezeRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := NewBuilder(1, 1, 0)
+		b.Add(0, 0, v)
+		if _, err := b.Freeze(); err == nil {
+			t.Errorf("Freeze with value %v: want error", v)
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		m, dense := buildRandom(t, rng, rows, cols, 0.3)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, rows)
+		if err := m.MulVec(got, x); err != nil {
+			t.Fatalf("MulVec: %v", err)
+		}
+		for r := 0; r < rows; r++ {
+			want := 0.0
+			for c := 0; c < cols; c++ {
+				want += dense[r][c] * x[c]
+			}
+			if math.Abs(got[r]-want) > 1e-10 {
+				t.Fatalf("trial %d row %d: got %v, want %v", trial, r, got[r], want)
+			}
+		}
+	}
+}
+
+func TestVecMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		m, dense := buildRandom(t, rng, rows, cols, 0.3)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, cols)
+		if err := m.VecMul(got, x); err != nil {
+			t.Fatalf("VecMul: %v", err)
+		}
+		for c := 0; c < cols; c++ {
+			want := 0.0
+			for r := 0; r < rows; r++ {
+				want += x[r] * dense[r][c]
+			}
+			if math.Abs(got[c]-want) > 1e-10 {
+				t.Fatalf("trial %d col %d: got %v, want %v", trial, c, got[c], want)
+			}
+		}
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, dense := buildRandom(t, rng, 17, 23, 0.25)
+	tt := m.Transpose().Transpose()
+	if tt.Rows() != m.Rows() || tt.Cols() != m.Cols() || tt.NNZ() != m.NNZ() {
+		t.Fatalf("double transpose changed shape or nnz")
+	}
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			if tt.At(r, c) != dense[r][c] {
+				t.Fatalf("(%d,%d): %v != %v", r, c, tt.At(r, c), dense[r][c])
+			}
+		}
+	}
+}
+
+func TestTransposeVecMulEquivalence(t *testing.T) {
+	// x·M must equal Transpose(M)·x — this identity is what the
+	// uniformisation engine relies on.
+	rng := rand.New(rand.NewSource(4))
+	m, _ := buildRandom(t, rng, 31, 29, 0.2)
+	mt := m.Transpose()
+	x := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	a := make([]float64, m.Cols())
+	bv := make([]float64, m.Cols())
+	if err := m.VecMul(a, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.MulVec(bv, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-bv[i]) > 1e-12 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, a[i], bv[i])
+		}
+	}
+}
+
+func TestParallelMulVecMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Above the serial cutoff (4096 rows) so the parallel path runs.
+	rows, cols := 5000, 300
+	b := NewBuilder(rows, cols, rows*3)
+	for r := 0; r < rows; r++ {
+		for k := 0; k < 3; k++ {
+			b.Add(r, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	serial := make([]float64, rows)
+	if err := m.MulVec(serial, x); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		par := make([]float64, rows)
+		if err := NewPool(workers).MulVec(m, par, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d row %d: %v != %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMulVecShapeErrors(t *testing.T) {
+	m, err := NewBuilder(3, 4, 0).Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MulVec(make([]float64, 3), make([]float64, 5)); !errors.Is(err, ErrShape) {
+		t.Errorf("MulVec wrong x len: %v, want ErrShape", err)
+	}
+	if err := m.VecMul(make([]float64, 4), make([]float64, 5)); !errors.Is(err, ErrShape) {
+		t.Errorf("VecMul wrong x len: %v, want ErrShape", err)
+	}
+	if err := NewPool(2).MulVec(m, make([]float64, 2), make([]float64, 4)); !errors.Is(err, ErrShape) {
+		t.Errorf("Pool.MulVec wrong dst len: %v, want ErrShape", err)
+	}
+}
+
+func TestRowSumAndMaxAbsDiagonal(t *testing.T) {
+	b := NewBuilder(3, 3, 0)
+	b.Add(0, 0, -2)
+	b.Add(0, 1, 2)
+	b.Add(1, 1, -7)
+	b.Add(1, 0, 3)
+	b.Add(1, 2, 4)
+	b.Add(2, 2, -0.5)
+	b.Add(2, 0, 0.5)
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if s := m.RowSum(r); math.Abs(s) > 1e-15 {
+			t.Errorf("RowSum(%d) = %v, want 0", r, s)
+		}
+	}
+	if got := m.MaxAbsDiagonal(); got != 7 {
+		t.Errorf("MaxAbsDiagonal = %v, want 7", got)
+	}
+}
+
+func TestRowIteration(t *testing.T) {
+	b := NewBuilder(2, 4, 0)
+	b.Add(1, 3, 5)
+	b.Add(1, 0, 7)
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols []int
+	var vals []float64
+	m.Row(1, func(c int, v float64) {
+		cols = append(cols, c)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 3 || vals[0] != 7 || vals[1] != 5 {
+		t.Errorf("Row(1) iterated cols=%v vals=%v", cols, vals)
+	}
+	count := 0
+	m.Row(0, func(int, float64) { count++ })
+	if count != 0 {
+		t.Errorf("Row(0) iterated %d entries, want 0", count)
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, dense := buildRandom(t, rng, 9, 11, 0.4)
+	got := m.Dense()
+	for r := range dense {
+		for c := range dense[r] {
+			if got[r][c] != dense[r][c] {
+				t.Fatalf("(%d,%d): %v != %v", r, c, got[r][c], dense[r][c])
+			}
+		}
+	}
+}
+
+// TestMulVecLinearityProperty checks M(ax+by) = a·Mx + b·My on random
+// matrices via testing/quick.
+func TestMulVecLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, _ := buildRandom(t, rng, 13, 13, 0.3)
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Clamp scalars to keep floating-point comparison meaningful.
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, 13)
+		y := make([]float64, 13)
+		comb := make([]float64, 13)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+			comb[i] = a*x[i] + b*y[i]
+		}
+		mx := make([]float64, 13)
+		my := make([]float64, 13)
+		mc := make([]float64, 13)
+		if m.MulVec(mx, x) != nil || m.MulVec(my, y) != nil || m.MulVec(mc, comb) != nil {
+			return false
+		}
+		for i := range mc {
+			if math.Abs(mc[i]-(a*mx[i]+b*my[i])) > 1e-8*(1+math.Abs(mc[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulVecSerial(b *testing.B) {
+	benchmarkMulVec(b, 1)
+}
+
+func BenchmarkMulVecParallel(b *testing.B) {
+	benchmarkMulVec(b, 0) // NumCPU
+}
+
+func benchmarkMulVec(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(8))
+	rows := 200000
+	bu := NewBuilder(rows, rows, rows*4)
+	for r := 0; r < rows; r++ {
+		for k := 0; k < 4; k++ {
+			bu.Add(r, rng.Intn(rows), rng.Float64())
+		}
+	}
+	m, err := bu.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, rows)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	dst := make([]float64, rows)
+	pool := NewPool(workers)
+	b.ReportMetric(float64(m.NNZ()), "nnz")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pool.MulVec(m, dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

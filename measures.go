@@ -1,0 +1,109 @@
+package batlife
+
+import (
+	"fmt"
+	"math"
+
+	"batlife/internal/core"
+)
+
+// ExpectedLifetime returns E[L], the mean battery lifetime in seconds,
+// computed on the Markovian approximation's expanded chain by solving
+// the absorption-time equations directly (no time grid needed). The
+// same grid-step trade-off as LifetimeDistribution applies: the value
+// converges to the true mean as deltaAs shrinks, approaching from
+// below.
+func ExpectedLifetime(b Battery, w *Workload, deltaAs float64) (float64, error) {
+	if w == nil {
+		return 0, fmt.Errorf("%w: nil workload", ErrBadArgument)
+	}
+	e, err := core.Build(w.kibamrm(b), deltaAs, core.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("batlife: %w", err)
+	}
+	mean, err := e.MeanLifetime()
+	if err != nil {
+		return 0, fmt.Errorf("batlife: %w", err)
+	}
+	return mean, nil
+}
+
+// StrandedCharge describes the bound charge left in the battery at the
+// moment it empties — capacity that was paid for but never delivered.
+type StrandedCharge struct {
+	// MeanAs is the expected stranded charge in ampere-seconds.
+	MeanAs float64
+	// FractionOfBound is MeanAs relative to the bound-well capacity
+	// (1−c)·C; 0 means the battery used everything, 1 means the bound
+	// well was untouched.
+	FractionOfBound float64
+}
+
+// ExpectedStrandedCharge computes the stranded-charge summary for the
+// battery under the workload, evaluated at a horizon far past the
+// lifetime's upper tail (horizonSeconds; it must be late enough that
+// depletion is near-certain, or an error is returned).
+func ExpectedStrandedCharge(b Battery, w *Workload, deltaAs, horizonSeconds float64) (*StrandedCharge, error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
+	}
+	if b.AvailableFraction >= 1 {
+		return &StrandedCharge{}, nil // no bound well, nothing to strand
+	}
+	e, err := core.Build(w.kibamrm(b), deltaAs, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("batlife: %w", err)
+	}
+	wc, err := e.WastedChargeDistribution(horizonSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("batlife: %w", err)
+	}
+	if wc.AbsorbedMass < 0.99 {
+		return nil, fmt.Errorf("%w: only %.1f%% of runs depleted by the horizon; increase horizonSeconds",
+			ErrBadArgument, 100*wc.AbsorbedMass)
+	}
+	bound := (1 - b.AvailableFraction) * b.CapacityAs
+	return &StrandedCharge{
+		MeanAs:          wc.Mean(),
+		FractionOfBound: wc.Mean() / bound,
+	}, nil
+}
+
+// WorkloadPhase is one segment of a time-varying usage scenario: the
+// workload in force for DurationSeconds (the final phase may be +Inf).
+type WorkloadPhase struct {
+	Workload        *Workload
+	DurationSeconds float64
+}
+
+// PhasedLifetimeDistribution computes the lifetime CDF for a scenario
+// that switches workloads at fixed instants — for example a light
+// night-time profile followed by a heavy daytime one. All phases run on
+// the same battery and must have the same number of workload states.
+func PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, deltaAs float64, times []float64) (*Distribution, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("%w: no phases", ErrBadArgument)
+	}
+	mps := make([]core.ModelPhase, len(phases))
+	for i, ph := range phases {
+		if ph.Workload == nil {
+			return nil, fmt.Errorf("%w: nil workload in phase %d", ErrBadArgument, i)
+		}
+		d := ph.DurationSeconds
+		if d <= 0 && !math.IsInf(d, 1) {
+			return nil, fmt.Errorf("%w: phase %d duration %v", ErrBadArgument, i, d)
+		}
+		mps[i] = core.ModelPhase{Model: ph.Workload.kibamrm(b), Duration: d}
+	}
+	res, err := core.PhasedLifetimeCDF(mps, deltaAs, times, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("batlife: %w", err)
+	}
+	return &Distribution{
+		Times:       res.Times,
+		EmptyProb:   res.EmptyProb,
+		States:      res.States,
+		Transitions: res.NNZ,
+		Iterations:  res.Iterations,
+	}, nil
+}

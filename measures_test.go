@@ -1,0 +1,138 @@
+package batlife
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestExpectedLifetimeMatchesSimulation(t *testing.T) {
+	b := PaperBattery()
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := ExpectedLifetime(b, w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SimulateLifetimes(b, w, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMean, err := s.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-simMean) > 0.05*simMean {
+		t.Errorf("expected lifetime %v vs simulated %v", mean, simMean)
+	}
+}
+
+func TestExpectedLifetimeErrors(t *testing.T) {
+	if _, err := ExpectedLifetime(PaperBattery(), nil, 100); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil workload: err = %v", err)
+	}
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectedLifetime(PaperBattery(), w, 7); err == nil {
+		t.Error("non-divisor delta accepted")
+	}
+}
+
+func TestExpectedStrandedCharge(t *testing.T) {
+	b := PaperBattery()
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ExpectedStrandedCharge(b, w, 100, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.MeanAs <= 0 || sc.MeanAs >= 2700 {
+		t.Errorf("stranded mean = %v As", sc.MeanAs)
+	}
+	if sc.FractionOfBound <= 0 || sc.FractionOfBound >= 1 {
+		t.Errorf("stranded fraction = %v", sc.FractionOfBound)
+	}
+	// c = 1: nothing can be stranded.
+	ideal := Battery{CapacityAs: 7200, AvailableFraction: 1}
+	sc1, err := ExpectedStrandedCharge(ideal, w, 100, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc1.MeanAs != 0 {
+		t.Errorf("ideal battery stranded = %v", sc1.MeanAs)
+	}
+}
+
+func TestExpectedStrandedChargeEarlyHorizon(t *testing.T) {
+	b := PaperBattery()
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t = 5000 s almost no run has depleted: must refuse.
+	if _, err := ExpectedStrandedCharge(b, w, 100, 5000); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("early horizon: err = %v", err)
+	}
+}
+
+func TestPhasedLifetimeDistribution(t *testing.T) {
+	b := Battery{CapacityAs: 7200, AvailableFraction: 1}
+	heavy, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := OnOffWorkload(1, 1, 0.24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{20000}
+	phased, err := PhasedLifetimeDistribution(b, []WorkloadPhase{
+		{Workload: light, DurationSeconds: 8000},
+		{Workload: heavy, DurationSeconds: math.Inf(1)},
+	}, 100, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyOnly, err := LifetimeDistribution(b, heavy, 100, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phased.EmptyProb[0] >= heavyOnly.EmptyProb[0] {
+		t.Errorf("light night did not extend life: phased %v vs heavy %v",
+			phased.EmptyProb[0], heavyOnly.EmptyProb[0])
+	}
+}
+
+func TestPhasedLifetimeDistributionErrors(t *testing.T) {
+	b := PaperBattery()
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PhasedLifetimeDistribution(b, nil, 100, []float64{1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("no phases: err = %v", err)
+	}
+	if _, err := PhasedLifetimeDistribution(b, []WorkloadPhase{{Workload: nil, DurationSeconds: 1}}, 100, []float64{1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil workload: err = %v", err)
+	}
+	if _, err := PhasedLifetimeDistribution(b, []WorkloadPhase{{Workload: w, DurationSeconds: -1}}, 100, []float64{1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative duration: err = %v", err)
+	}
+	// Mismatched phase workloads (different state counts).
+	simple, err := SimpleWireless()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PhasedLifetimeDistribution(b, []WorkloadPhase{
+		{Workload: w, DurationSeconds: 10},
+		{Workload: simple, DurationSeconds: math.Inf(1)},
+	}, 100, []float64{5}); err == nil {
+		t.Error("mismatched phases accepted")
+	}
+}
