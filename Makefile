@@ -1,0 +1,43 @@
+# Development entry points. `make test` is the tier-1 verify; `make lint`
+# is the full static-analysis suite; `make ci` is everything the CI
+# workflow gates on. See docs/DEVELOPING.md.
+
+GO ?= go
+
+.PHONY: all build test race checks lint bench ci
+
+all: build test lint
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: tier-1 verify — build plus the full test suite
+test: build
+	$(GO) test ./...
+
+## race: full test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## checks: full test suite with the runtime invariant layer compiled in
+checks:
+	$(GO) test -tags debugchecks ./...
+
+## lint: gofmt, go vet (both tag configurations), and numlint
+lint:
+	@fmtout=$$(gofmt -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed for:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) vet -tags debugchecks ./internal/check
+	$(GO) run ./tools/numlint ./...
+
+## bench: run every benchmark once (smoke); pass BENCHTIME for real runs
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./...
+
+## ci: everything the CI workflow gates on
+ci: lint build test race checks

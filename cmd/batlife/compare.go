@@ -112,6 +112,7 @@ func cmdCompare(args []string) error {
 	simCurve := ecdf.Eval(times)
 
 	var exact []float64
+	//numlint:ignore floatcmp c = 1 is an exact spec-file sentinel selecting the exact solver
 	if p.C == 1 {
 		cr := mrm.ConstantReward{Chain: model.Workload, Rates: model.Currents, Initial: model.Initial}
 		exact, err = performability.EnergyDepletionCDF(cr, p.Capacity, times)

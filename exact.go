@@ -23,6 +23,7 @@ func ExactLifetimeCDF(b Battery, w *Workload, times []float64) ([]float64, error
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
+	//numlint:ignore floatcmp AvailableFraction = 1 is an exact configuration sentinel, not a computed value
 	if b.AvailableFraction != 1 {
 		return nil, fmt.Errorf("%w: exact solution requires AvailableFraction = 1, got %v",
 			ErrBadArgument, b.AvailableFraction)

@@ -1,0 +1,116 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fakeGen adapts a dense matrix to the Generator interface.
+type fakeGen [][]float64
+
+func (g fakeGen) Rows() int { return len(g) }
+
+func (g fakeGen) Row(r int, fn func(col int, v float64)) {
+	for c, v := range g[r] {
+		if v != 0 {
+			fn(c, v)
+		}
+	}
+}
+
+type fakeValidator struct{ err error }
+
+func (v fakeValidator) Validate() error { return v.err }
+
+// mustPanic runs fn and asserts it panics (iff checks are enabled) with
+// a message containing the site marker.
+func mustPanic(t *testing.T, site string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if !Enabled {
+			if r != nil {
+				t.Fatalf("check panicked with Enabled=false: %v", r)
+			}
+			return
+		}
+		if r == nil {
+			t.Fatalf("expected panic from %s with Enabled=true", site)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, site) {
+			t.Fatalf("panic %v does not mention site %q", r, site)
+		}
+	}()
+	fn()
+}
+
+func mustNotPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("unexpected check panic: %v", r)
+		}
+	}()
+	fn()
+}
+
+func TestFinite(t *testing.T) {
+	mustNotPanic(t, func() { Finite("ok", 0, -1, 1e300) })
+	mustPanic(t, "nan-site", func() { Finite("nan-site", 1, math.NaN()) })
+	mustPanic(t, "inf-site", func() { Finite("inf-site", math.Inf(-1)) })
+}
+
+func TestFiniteVec(t *testing.T) {
+	mustNotPanic(t, func() { FiniteVec("ok", []float64{0, 0.5, -3}) })
+	mustPanic(t, "vec-site", func() { FiniteVec("vec-site", []float64{0, math.Inf(1)}) })
+}
+
+func TestProbabilities(t *testing.T) {
+	mustNotPanic(t, func() { Probabilities("ok", []float64{0.25, 0.75}) })
+	// Drift within tolerance is accepted.
+	mustNotPanic(t, func() { Probabilities("ok", []float64{0.5, 0.5 + 1e-12}) })
+	mustPanic(t, "neg-site", func() { Probabilities("neg-site", []float64{-0.1, 1.1}) })
+	mustPanic(t, "mass-site", func() { Probabilities("mass-site", []float64{0.5, 0.4}) })
+	mustPanic(t, "nan-site", func() { Probabilities("nan-site", []float64{math.NaN(), 1}) })
+}
+
+func TestNonNegativeAndUnitInterval(t *testing.T) {
+	mustNotPanic(t, func() { NonNegative("ok", []float64{0, 1, 42}) })
+	mustPanic(t, "nn-site", func() { NonNegative("nn-site", []float64{-1}) })
+	mustNotPanic(t, func() { UnitInterval("ok", []float64{0, 0.5, 1}) })
+	mustPanic(t, "ui-site", func() { UnitInterval("ui-site", []float64{1.5}) })
+}
+
+func TestGeneratorRows(t *testing.T) {
+	mustNotPanic(t, func() {
+		GeneratorRows("ok", fakeGen{
+			{-2, 2, 0},
+			{1, -3, 2},
+			{0, 0, 0}, // absorbing
+		})
+	})
+	mustPanic(t, "rowsum-site", func() {
+		GeneratorRows("rowsum-site", fakeGen{{-2, 1}, {0, 0}})
+	})
+	mustPanic(t, "sign-site", func() {
+		GeneratorRows("sign-site", fakeGen{{1, -1}, {0, 0}})
+	})
+	mustPanic(t, "nan-site", func() {
+		GeneratorRows("nan-site", fakeGen{{math.NaN(), 0}, {0, 0}})
+	})
+}
+
+func TestCSRWellFormed(t *testing.T) {
+	mustNotPanic(t, func() { CSRWellFormed("ok", fakeValidator{}) })
+	mustPanic(t, "csr-site", func() {
+		CSRWellFormed("csr-site", fakeValidator{err: errFake})
+	})
+}
+
+var errFake = errTest("malformed")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

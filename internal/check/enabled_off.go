@@ -1,0 +1,8 @@
+//go:build !debugchecks
+
+package check
+
+// Enabled reports whether the runtime invariant checks are compiled in.
+// Without the debugchecks build tag every check.* call is a constant
+// no-op that the compiler eliminates entirely.
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build debugchecks
+
+package check
+
+// Enabled reports whether the runtime invariant checks are compiled in.
+// This build carries the debugchecks tag, so every check.* call
+// validates its argument and panics on violation.
+const Enabled = true

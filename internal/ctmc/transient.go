@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"batlife/internal/check"
 	"batlife/internal/foxglynn"
 	"batlife/internal/sparse"
 )
@@ -120,13 +121,16 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 		return nil, fmt.Errorf("%w: time points must be ascending", ErrBadInput)
 	}
 
+	check.GeneratorRows("ctmc.transient generator", gen)
+	check.Probabilities("ctmc.transient initial distribution", alpha)
+
 	res := &Result{Times: append([]float64(nil), times...)}
 	q := gen.MaxAbsDiagonal() * opts.slack()
 	res.Rate = q
 
 	if q == 0 {
 		// No transitions anywhere: the distribution never moves.
-		return frozenResult(res, alpha, w, times), nil
+		return validatedResult(frozenResult(res, alpha, w, times)), nil
 	}
 
 	// Poisson windows per time point, and the global iteration bound.
@@ -225,7 +229,7 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 				v, next = next, v
 				res.Iterations++
 				foldIn(it+1, v, true)
-				return res, nil
+				return validatedResult(res), nil
 			}
 		}
 		v, next = next, v
@@ -234,7 +238,21 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 			opts.OnIteration(res.Iterations, maxRight)
 		}
 	}
-	return res, nil
+	return validatedResult(res), nil
+}
+
+// validatedResult asserts, under the debugchecks build tag, that every
+// produced distribution lies in [0,1] and every functional value is
+// finite. The loop over time points is guarded by check.Enabled so
+// release builds skip it entirely.
+func validatedResult(res *Result) *Result {
+	if check.Enabled {
+		for _, d := range res.Distributions {
+			check.UnitInterval("ctmc.transient distribution", d)
+		}
+		check.FiniteVec("ctmc.transient functional values", res.Values)
+	}
+	return res
 }
 
 // tailWeight returns the total Poisson weight of the window at indices

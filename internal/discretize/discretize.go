@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"batlife/internal/check"
 	"batlife/internal/mrm"
 )
 
@@ -194,5 +195,6 @@ func EnergyDepletionCDF(m mrm.ConstantReward, capacity float64, times []float64,
 	// Any remaining (late) time points: the loop ended because maxSteps
 	// was reached.
 	record(maxSteps)
+	check.UnitInterval("discretize.EnergyDepletionCDF", out)
 	return out, nil
 }

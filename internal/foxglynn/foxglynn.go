@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"batlife/internal/check"
 )
 
 // ErrBadLambda reports a non-finite or negative rate.
@@ -113,6 +115,7 @@ func Compute(lambda, eps float64) (*Weights, error) {
 	for i := range prob {
 		prob[i] *= inv
 	}
+	check.Probabilities("foxglynn.Compute weights", prob)
 	return &Weights{Left: left, Right: right, Prob: prob}, nil
 }
 

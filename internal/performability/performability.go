@@ -195,6 +195,9 @@ func transform(m mrm.ConstantReward, shifted []float64, t float64, s complex128)
 // invert computes Pr{Y'(t) ≤ y} by Abate–Whitt Euler summation of the
 // Bromwich integral for φ(s)/s.
 func invert(m mrm.ConstantReward, shifted []float64, t, y float64) (float64, error) {
+	if y <= 0 || math.IsNaN(y) {
+		return 0, fmt.Errorf("%w: inversion requires a positive reward bound, got y=%v", ErrBadQuery, y)
+	}
 	// Partial sums of the alternating series.
 	fhat := func(s complex128) complex128 {
 		return transform(m, shifted, t, s) / s

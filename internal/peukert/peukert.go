@@ -122,6 +122,7 @@ func Fit(i1, l1, i2, l2 float64) (Law, error) {
 	if i1 <= 0 || i2 <= 0 || l1 <= 0 || l2 <= 0 {
 		return Law{}, fmt.Errorf("%w: measurements must be positive", ErrBadParams)
 	}
+	//numlint:ignore floatcmp distinctness check on caller-supplied measurements; near-equal pairs are rejected by Law.Validate
 	if i1 == i2 {
 		return Law{}, fmt.Errorf("%w: need two distinct currents", ErrBadParams)
 	}

@@ -103,6 +103,7 @@ func (t *Table) Chart(opts ChartOptions) (string, error) {
 	width, height := opts.size()
 
 	xMin, xMax := t.X[0], t.X[len(t.X)-1]
+	//numlint:ignore floatcmp degenerate-range sentinel; any nonzero span scales finitely
 	if xMax == xMin {
 		xMax = xMin + 1
 	}
@@ -115,6 +116,7 @@ func (t *Table) Chart(opts ChartOptions) (string, error) {
 				yMax = math.Max(yMax, v)
 			}
 		}
+		//numlint:ignore floatcmp degenerate-range sentinel; any nonzero span scales finitely
 		if yMax == yMin {
 			yMax = yMin + 1
 		}

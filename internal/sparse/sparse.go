@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"batlife/internal/check"
 )
 
 // ErrShape reports a dimension mismatch between a matrix and a vector or
@@ -110,6 +112,7 @@ func (b *Builder) Freeze() (*CSR, error) {
 	for r := 0; r < b.rows; r++ {
 		m.rowPtr[r+1] += m.rowPtr[r]
 	}
+	check.CSRWellFormed("sparse.Freeze", m)
 	return m, nil
 }
 
@@ -119,6 +122,42 @@ type CSR struct {
 	rowPtr     []int32
 	colIdx     []int32
 	vals       []float64
+}
+
+// Validate performs a structural self-check: row-pointer monotonicity
+// and bounds, in-range strictly ascending column indices per row, and
+// finite stored values. Freeze guarantees all of these, so Validate only
+// fails on memory corruption or a hand-built matrix; it backs the
+// debugchecks invariant layer (internal/check) and is cheap enough to
+// call directly in tests.
+func (m *CSR) Validate() error {
+	if len(m.rowPtr) != m.rows+1 {
+		return fmt.Errorf("sparse: rowPtr has %d entries for %d rows", len(m.rowPtr), m.rows)
+	}
+	if m.rowPtr[0] != 0 || int(m.rowPtr[m.rows]) != len(m.vals) || len(m.colIdx) != len(m.vals) {
+		return fmt.Errorf("sparse: rowPtr spans [%d,%d] over %d values and %d columns",
+			m.rowPtr[0], m.rowPtr[m.rows], len(m.vals), len(m.colIdx))
+	}
+	for r := 0; r < m.rows; r++ {
+		if m.rowPtr[r] > m.rowPtr[r+1] {
+			return fmt.Errorf("sparse: rowPtr not monotone at row %d", r)
+		}
+		prev := int32(-1)
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			c := m.colIdx[i]
+			if c < 0 || int(c) >= m.cols {
+				return fmt.Errorf("sparse: row %d references column %d of %d", r, c, m.cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly ascending at %d", r, c)
+			}
+			prev = c
+			if v := m.vals[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("sparse: entry (%d,%d) is not finite: %v", r, c, v)
+			}
+		}
+	}
+	return nil
 }
 
 // Rows reports the number of rows.
@@ -221,6 +260,7 @@ func (m *CSR) MulVec(dst, x []float64) error {
 		}
 		dst[r] = sum
 	}
+	check.FiniteVec("sparse.CSR.MulVec", dst)
 	return nil
 }
 
@@ -244,6 +284,7 @@ func (m *CSR) VecMul(dst, x []float64) error {
 			dst[m.colIdx[i]] += m.vals[i] * xr
 		}
 	}
+	check.FiniteVec("sparse.CSR.VecMul", dst)
 	return nil
 }
 
@@ -317,5 +358,6 @@ func (p *Pool) MulVec(m *CSR, dst, x []float64) error {
 		}(lo, hi)
 	}
 	wg.Wait()
+	check.FiniteVec("sparse.Pool.MulVec", dst)
 	return nil
 }

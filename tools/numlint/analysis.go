@@ -1,0 +1,199 @@
+// Analysis framework for numlint.
+//
+// The container this repository builds in has no module proxy access, so
+// the driver mirrors the shape of golang.org/x/tools/go/analysis on top
+// of the standard library alone: an Analyzer owns a Run function that
+// receives a type-checked Pass and reports Diagnostics. Suppression is
+// line-based via //numlint:ignore directives (see docs/DEVELOPING.md).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in ignore directives.
+	Name string
+	// Doc is a one-line description shown by -help.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModPath is the module path; analyzers use it to scope findings to
+	// module-local callees.
+	ModPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// ignoreDirectives maps filename -> line -> analyzer names suppressed on
+// that line. The sentinel "*" suppresses every analyzer.
+type ignoreDirectives map[string]map[int][]string
+
+// collectIgnores scans the comments of the files for
+// //numlint:ignore [analyzer] [reason...] directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreDirectives {
+	dir := ignoreDirectives{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "numlint:ignore") {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(text, "numlint:ignore"))
+				name := "*"
+				if len(rest) > 0 && isAnalyzerName(rest[0]) {
+					name = rest[0]
+				}
+				pos := fset.Position(c.Pos())
+				m := dir[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					dir[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], name)
+			}
+		}
+	}
+	return dir
+}
+
+// suppressed reports whether d is covered by a directive on its own line
+// or on the line immediately above.
+func (dir ignoreDirectives) suppressed(d Diagnostic) bool {
+	m := dir[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == "*" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isAnalyzerName(s string) bool {
+	for _, a := range analyzers {
+		if a.Name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzers executes every analyzer over one loaded package and
+// returns the unsuppressed diagnostics sorted by position.
+func runAnalyzers(pi *packageInfo, modPath string) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pi.fset,
+			Files:    pi.files,
+			Pkg:      pi.pkg,
+			Info:     pi.info,
+			ModPath:  modPath,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	ignores := collectIgnores(pi.fset, pi.files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// isFloat reports whether t is (or has underlying) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// calleeFunc resolves the called function or method object of a call
+// expression, or nil for conversions, builtins, and indirect calls
+// through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isMathCall reports whether call invokes math.<name>.
+func isMathCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errchecklitAnalyzer flags discarded error results from module-local
+// functions — CSR.MulVec, Builder.Freeze, the solver entry points, and
+// anything else under the batlife module that returns an error.
+//
+// The numerical substrates report shape mismatches and non-finite values
+// exclusively through error returns; dropping one turns a structural
+// failure into a silently wrong lifetime distribution. Standard-library
+// calls (fmt.Println et al.) are deliberately out of scope — this is the
+// "lite" in errcheck-lite.
+var errcheckliteAnalyzer = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "flag dropped error returns from module-local functions",
+	Run:  runErrcheckLite,
+}
+
+func runErrcheckLite(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					reportDroppedCall(pass, call, "")
+				}
+			case *ast.GoStmt:
+				reportDroppedCall(pass, s.Call, "go ")
+			case *ast.DeferStmt:
+				reportDroppedCall(pass, s.Call, "defer ")
+			case *ast.AssignStmt:
+				reportBlankErrAssign(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// moduleCallErrors returns the callee and the indices of its error
+// results when the callee is a module-local function, or nil otherwise.
+func moduleCallErrors(pass *Pass, call *ast.CallExpr) (*types.Func, []int) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	path := fn.Pkg().Path()
+	if path != pass.ModPath && !strings.HasPrefix(path, pass.ModPath+"/") {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	var errIdx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	return fn, errIdx
+}
+
+func reportDroppedCall(pass *Pass, call *ast.CallExpr, prefix string) {
+	fn, errIdx := moduleCallErrors(pass, call)
+	if len(errIdx) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "%serror result of %s.%s is dropped; handle it or assign it explicitly",
+		prefix, fn.Pkg().Name(), fn.Name())
+}
+
+// reportBlankErrAssign flags `_`-discarded error results of module-local
+// calls, e.g. `v, _ := b.Freeze()`.
+func reportBlankErrAssign(pass *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx := moduleCallErrors(pass, call)
+	if len(errIdx) == 0 {
+		return
+	}
+	for _, i := range errIdx {
+		if i >= len(s.Lhs) {
+			continue
+		}
+		if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(id.Pos(), "error result of %s.%s is discarded with _; handle it",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpAnalyzer flags == and != between floating-point operands.
+//
+// Rounding makes exact float equality meaningless except against exact
+// sentinels, so the analyzer whitelists: comparison against an exact
+// constant zero (the universal "no entry / absorbing / unset" sentinel
+// in this codebase), comparison against ±Inf produced by math.Inf, and
+// the x != x NaN idiom. Everything else needs a tolerance or an explicit
+// //numlint:ignore floatcmp justification.
+var floatcmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point values outside exact-sentinel comparisons",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.Info.Types[be.X]
+			ty := pass.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if isExactSentinel(pass, be.X, tx) || isExactSentinel(pass, be.Y, ty) {
+				return true
+			}
+			if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+				// x != x is the portable NaN test.
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison between %s and %s; compare with a tolerance or an exact sentinel (0, ±Inf)",
+				be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+// isExactSentinel reports whether e is an exactly-representable sentinel:
+// a constant zero or a ±Inf obtained from math.Inf.
+func isExactSentinel(pass *Pass, e ast.Expr, tv types.TypeAndValue) bool {
+	if tv.Value != nil && tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0 {
+		return true
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && isMathCall(pass.Info, call, "Inf") {
+		return true
+	}
+	if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.SUB {
+		if call, ok := ast.Unparen(ue.X).(*ast.CallExpr); ok && isMathCall(pass.Info, call, "Inf") {
+			return true
+		}
+	}
+	return false
+}

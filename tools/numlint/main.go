@@ -1,0 +1,113 @@
+// Command numlint is the repository's numeric-safety linter.
+//
+// It runs four custom analyzers tuned to the battery-lifetime pipeline
+// over module-local packages:
+//
+//	floatcmp     ==/!= on floats outside exact-sentinel comparisons
+//	naninf       unguarded division / Log / Sqrt of parameters in float kernels
+//	errchecklite dropped error returns from module-local functions
+//	unitsafety   raw numeric literals passed as internal/units quantities
+//
+// Usage:
+//
+//	go run ./tools/numlint ./...
+//	go run ./tools/numlint -tags debugchecks ./internal/check
+//
+// Findings are suppressed with a trailing or preceding comment:
+//
+//	//numlint:ignore <analyzer> <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors. See
+// docs/DEVELOPING.md for the full contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var analyzers = []*Analyzer{
+	floatcmpAnalyzer,
+	naninfAnalyzer,
+	errcheckliteAnalyzer,
+	unitsafetyAnalyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("numlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tags := fs.String("tags", "", "comma-separated extra build tags")
+	verbose := fs.Bool("v", false, "log packages as they are analyzed")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: numlint [-tags tag,...] [-v] packages...")
+		fmt.Fprintln(stderr, "analyzers:")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "numlint:", err)
+		return 2
+	}
+	modDir, modPath, err := findModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	l := newLoader(modDir, modPath, tagList)
+
+	paths, err := l.expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "numlint: no packages match", patterns)
+		return 2
+	}
+
+	exit := 0
+	total := 0
+	for _, path := range paths {
+		if *verbose {
+			fmt.Fprintln(stderr, "numlint: analyzing", path)
+		}
+		pi, err := l.load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags := runAnalyzers(pi, modPath)
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		total += len(diags)
+		if len(diags) > 0 {
+			exit = 1
+		}
+	}
+	if *verbose || exit != 0 {
+		fmt.Fprintf(stderr, "numlint: %d finding(s) in %d package(s)\n", total, len(paths))
+	}
+	return exit
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// naninfAnalyzer flags float-returning functions that divide by a
+// parameter, or take math.Log/Sqrt of a parameter-dependent expression,
+// without any visible guard on that parameter.
+//
+// A silent NaN or Inf produced deep inside the uniformisation pipeline
+// propagates through every downstream vector product without tripping
+// any error path, so float kernels must either branch on the dangerous
+// parameter (any if/for/switch condition mentioning it counts), state a
+// precondition in their doc comment ("must be", "precondition",
+// "positive", "non-negative", "nonzero", "non-empty"), or carry a
+// //numlint:ignore naninf justification.
+var naninfAnalyzer = &Analyzer{
+	Name: "naninf",
+	Doc:  "flag unguarded division by / Log / Sqrt of parameters in float-returning functions",
+	Run:  runNanInf,
+}
+
+// preconditionMarkers are doc-comment phrases that count as a documented
+// precondition exempting the whole function.
+var preconditionMarkers = []string{
+	"must be", "must not", "precondition", "positive", "non-negative",
+	"nonnegative", "nonzero", "non-zero", "non-empty", "caller",
+}
+
+func runNanInf(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !returnsFloat(pass, fd) || docStatesPrecondition(fd.Doc) {
+				continue
+			}
+			params := floatParams(pass, fd)
+			if len(params) == 0 {
+				continue
+			}
+			guarded := guardedObjects(pass, fd.Body)
+			checkBody(pass, fd, params, guarded)
+		}
+	}
+}
+
+// returnsFloat reports whether fd returns a float or a slice of floats.
+func returnsFloat(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := pass.Info.Types[res.Type].Type
+		if isFloat(t) {
+			return true
+		}
+		if sl, ok := t.(*types.Slice); ok && isFloat(sl.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+func docStatesPrecondition(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	for _, marker := range preconditionMarkers {
+		if strings.Contains(text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// floatParams returns the float-typed parameter objects of fd.
+func floatParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isFloat(obj.Type()) {
+				set[obj] = true
+			}
+		}
+	}
+	return set
+}
+
+// guardedObjects collects every object referenced from a branching
+// condition inside body: if/for conditions, switch tags and case
+// expressions. A parameter that appears in any of them is considered
+// guarded — the function visibly branches on it.
+func guardedObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	guarded := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					guarded[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			mark(s.Cond)
+		case *ast.ForStmt:
+			mark(s.Cond)
+		case *ast.SwitchStmt:
+			mark(s.Tag)
+		case *ast.CaseClause:
+			for _, e := range s.List {
+				mark(e)
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// checkBody reports unguarded divisions and Log/Sqrt applications.
+func checkBody(pass *Pass, fd *ast.FuncDecl, params, guarded map[types.Object]bool) {
+	unguardedParam := func(e ast.Expr) types.Object {
+		var found types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj != nil && params[obj] && !guarded[obj] {
+				found = obj
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op.String() != "/" {
+				return true
+			}
+			if tv := pass.Info.Types[e.Y]; tv.Value != nil {
+				return true // constant denominator
+			}
+			if !isFloat(pass.Info.Types[e.X].Type) && !isFloat(pass.Info.Types[e.Y].Type) {
+				return true
+			}
+			if obj := unguardedParam(e.Y); obj != nil {
+				pass.Reportf(e.OpPos,
+					"possible NaN/Inf: %s divides by parameter %s without a guard or documented precondition",
+					fd.Name.Name, obj.Name())
+			}
+		case *ast.CallExpr:
+			if !isMathCall(pass.Info, e, "Log", "Log2", "Log10", "Sqrt") {
+				return true
+			}
+			if len(e.Args) != 1 {
+				return true
+			}
+			if tv := pass.Info.Types[e.Args[0]]; tv.Value != nil {
+				return true
+			}
+			if obj := unguardedParam(e.Args[0]); obj != nil {
+				fn := calleeFunc(pass.Info, e)
+				pass.Reportf(e.Pos(),
+					"possible NaN/Inf: %s applies math.%s to parameter %s without a guard or documented precondition",
+					fd.Name.Name, fn.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}

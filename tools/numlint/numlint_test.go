@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package through the real loader
+// and returns its unsuppressed diagnostics.
+func loadFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modDir, modPath, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modDir, modPath, nil)
+	pi, err := l.load(modPath + "/tools/numlint/testdata/" + name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return runAnalyzers(pi, modPath)
+}
+
+// keys reduces diagnostics to comparable "analyzer:line" strings.
+func keys(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d", d.Analyzer, d.Pos.Line))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertFindings(t *testing.T, diags []Diagnostic, want []string) {
+	t.Helper()
+	got := keys(diags)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("findings %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("findings %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFloatcmpFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "floatcmp"), []string{
+		"floatcmp:9",
+		"floatcmp:25",
+	})
+}
+
+func TestNanInfFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "naninf"), []string{
+		"naninf:9", // math.Log(x)
+		"naninf:9", // 1/d
+	})
+}
+
+func TestErrcheckFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "errcheck"), []string{
+		"errchecklite:13",
+		"errchecklite:14",
+		"errchecklite:15",
+		"errchecklite:17",
+	})
+}
+
+func TestUnitsafetyFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "unitsafety"), []string{
+		"unitsafety:21",
+		"unitsafety:22",
+		"unitsafety:26",
+	})
+}
+
+// TestRepoIsClean runs every analyzer over the whole module — the same
+// gate CI applies with `go run ./tools/numlint ./...` — so a finding
+// introduced anywhere in the tree fails the test suite too.
+func TestRepoIsClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modDir, modPath, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modDir, modPath, nil)
+	paths, err := l.expandPatterns([]string{filepath.Join(modDir, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 20 {
+		t.Fatalf("expected to discover the whole module, got %d packages: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, d := range runAnalyzers(pi, modPath) {
+			t.Errorf("%s", d)
+		}
+	}
+}

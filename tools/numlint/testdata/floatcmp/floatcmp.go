@@ -1,0 +1,26 @@
+// Package floatcmp is a numlint test fixture; see numlint_test.go for
+// the expected findings.
+package floatcmp
+
+import "math"
+
+// Cmp exercises the floatcmp analyzer.
+func Cmp(a, b float64) bool {
+	if a == b { // want finding (line 9)
+		return true
+	}
+	if a != 0 { // exact-zero sentinel: no finding
+		return false
+	}
+	if a == math.Inf(1) || b == -math.Inf(1) { // Inf sentinels: no finding
+		return true
+	}
+	if a != a { // NaN idiom: no finding
+		return false
+	}
+	//numlint:ignore floatcmp fixture demonstrates suppression
+	if a == 3.5 { // suppressed
+		return true
+	}
+	return b != 1 // want finding (line 25)
+}

@@ -1,0 +1,36 @@
+// Package naninf is a numlint test fixture; see numlint_test.go for the
+// expected findings.
+package naninf
+
+import "math"
+
+// Unguarded divides and logs parameters with no guard.
+func Unguarded(x, d float64) float64 {
+	return math.Log(x) + 1/d // want two findings (line 9)
+}
+
+// Guarded branches on both parameters first.
+func Guarded(x, d float64) float64 {
+	if x <= 0 || d == 0 {
+		return 0
+	}
+	return math.Log(x) + 1/d
+}
+
+// Documented has a precondition; x and d must be positive.
+func Documented(x, d float64) float64 {
+	return math.Sqrt(x) / d
+}
+
+// NotFloatResult is out of scope: it does not return a float.
+func NotFloatResult(d float64) int {
+	return int(1 / d)
+}
+
+// ConstantDenominator divides by a constant only.
+func ConstantDenominator(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return x / 2
+}

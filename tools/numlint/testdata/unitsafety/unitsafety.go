@@ -1,0 +1,30 @@
+// Package unitsafety is a numlint test fixture; see numlint_test.go for
+// the expected findings.
+package unitsafety
+
+import "batlife/internal/units"
+
+// Battery pairs a typed capacity with an untyped label.
+type Battery struct {
+	Capacity units.Charge
+	Cells    int
+}
+
+// Drain consumes a typed current for a typed duration.
+func Drain(i units.Current, d units.Duration) {}
+
+// Idle is the named constant a call site should prefer to a raw literal.
+const Idle units.Current = 0.008
+
+// Use exercises the unitsafety analyzer.
+func Use() {
+	Drain(0.2, units.Hours(2))                // want finding for 0.2 (line 21)
+	Drain(units.Milliamps(200), 3600)         // want finding for 3600 (line 22)
+	Drain(Idle, units.Seconds(10))            // named constant: no finding
+	Drain(units.Current(0.2), units.Hours(1)) // explicit conversion: no finding
+	Drain(0, units.Hours(1))                  // literal zero: no finding
+	_ = Battery{Capacity: 800, Cells: 2}      // want finding for 800 (line 26)
+	_ = Battery{Capacity: units.MilliampHours(800), Cells: 2}
+	//numlint:ignore unitsafety fixture demonstrates suppression
+	_ = Battery{Capacity: 650}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// unitsafetyAnalyzer flags raw numeric literals supplied where an
+// internal/units typed quantity (Current, Charge, Duration, Rate) is
+// expected — as a call argument or a struct-literal field value.
+//
+// Go's untyped constants convert silently, so `OnOff(f, k, 0.2)`
+// compiles whether the author meant 0.2 A or 0.2 mA. Requiring an
+// explicit constructor (units.Milliamps(200)) or a named constant keeps
+// the unit visible at the call site. A literal 0 is unit-free and
+// therefore allowed.
+var unitsafetyAnalyzer = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag raw numeric literals passed as internal/units typed quantities",
+	Run:  runUnitSafety,
+}
+
+func runUnitSafety(pass *Pass) {
+	unitsPath := pass.ModPath + "/internal/units"
+	isUnitsType := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return false
+		}
+		return named.Obj().Pkg().Path() == unitsPath && isFloat(named)
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, e, isUnitsType)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, e, isUnitsType)
+			}
+			return true
+		})
+	}
+}
+
+func checkCall(pass *Pass, call *ast.CallExpr, isUnitsType func(types.Type) bool) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, e.g. units.Current(x) — the unit choice is explicit
+	}
+	sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !isUnitsType(pt) {
+			continue
+		}
+		if lit := rawNumericLiteral(pass, arg); lit != nil {
+			pass.Reportf(arg.Pos(),
+				"raw numeric literal %s passed as %s; use a units constructor (e.g. units.%s(...)) or a named constant",
+				types.ExprString(arg), types.TypeString(pt, types.RelativeTo(pass.Pkg)), constructorHint(pt))
+		}
+	}
+}
+
+func checkCompositeLit(pass *Pass, cl *ast.CompositeLit, isUnitsType func(types.Type) bool) {
+	t := pass.Info.Types[cl].Type
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fieldByName := map[string]*types.Var{}
+	for i := 0; i < st.NumFields(); i++ {
+		fieldByName[st.Field(i).Name()] = st.Field(i)
+	}
+	for i, elt := range cl.Elts {
+		var fieldType types.Type
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				if fv := fieldByName[key.Name]; fv != nil {
+					fieldType = fv.Type()
+				}
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			fieldType = st.Field(i).Type()
+		}
+		if fieldType == nil || !isUnitsType(fieldType) {
+			continue
+		}
+		if lit := rawNumericLiteral(pass, value); lit != nil {
+			pass.Reportf(value.Pos(),
+				"raw numeric literal %s assigned to %s field; use a units constructor (e.g. units.%s(...)) or a named constant",
+				types.ExprString(value), types.TypeString(fieldType, types.RelativeTo(pass.Pkg)), constructorHint(fieldType))
+		}
+	}
+}
+
+// paramType returns the type of argument i, unrolling variadic tails.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// rawNumericLiteral returns the literal if e is a bare nonzero numeric
+// literal (optionally signed), else nil.
+func rawNumericLiteral(pass *Pass, e ast.Expr) ast.Expr {
+	inner := ast.Unparen(e)
+	if ue, ok := inner.(*ast.UnaryExpr); ok && (ue.Op == token.SUB || ue.Op == token.ADD) {
+		inner = ast.Unparen(ue.X)
+	}
+	bl, ok := inner.(*ast.BasicLit)
+	if !ok || (bl.Kind != token.INT && bl.Kind != token.FLOAT) {
+		return nil
+	}
+	if tv := pass.Info.Types[e]; tv.Value != nil && tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0 {
+		return nil // a literal zero carries no unit ambiguity
+	}
+	return e
+}
+
+func constructorHint(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "X"
+	}
+	switch named.Obj().Name() {
+	case "Current":
+		return "Milliamps"
+	case "Charge":
+		return "MilliampHours"
+	case "Duration":
+		return "Seconds"
+	case "Rate":
+		return "PerSecond"
+	}
+	return named.Obj().Name()
+}
