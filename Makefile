@@ -34,10 +34,14 @@ lint:
 	$(GO) vet -tags debugchecks ./internal/check
 	$(GO) run ./tools/numlint ./...
 
-## bench: run every benchmark once (smoke); pass BENCHTIME for real runs
+## bench: run every benchmark once (smoke); pass BENCHTIME for real runs.
+## The Solver benchmarks (cached reuse, parallel sweep) additionally land
+## in BENCH_solver.json for machine comparison across commits.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./...
+	$(GO) test -bench='BenchmarkSolverCachedReuse|BenchmarkSweepParallel' \
+		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_solver.json
 
 ## ci: everything the CI workflow gates on
 ci: lint build test race checks

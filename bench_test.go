@@ -10,6 +10,7 @@ package batlife
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"batlife/internal/core"
@@ -351,6 +352,96 @@ func BenchmarkSimulation1000Runs(b *testing.B) {
 		if _, err := sim.Lifetimes(model, int64(i+1), sim.Options{Runs: 1000}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSolverCachedReuse measures the payoff of the Solver's cache
+// layers on a repeated identical query. "cold" pays the full pipeline
+// every iteration (a fresh Solver per query, the pre-Solver behaviour);
+// "warm-model" reuses the cached expanded CTMC and uniformised operator
+// but re-runs the transient solve (Progress bypasses the result memo);
+// "warm" additionally hits the result memo. The acceptance bar for the
+// engine is warm ≥ 2x faster than cold.
+func BenchmarkSolverCachedReuse(b *testing.B) {
+	battery := Battery{CapacityAs: 7200, AvailableFraction: 0.625, FlowRate: 4.5e-5}
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := []float64{10000, 15000, 20000}
+	opts := AnalysisOptions{Delta: 50}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewSolver(SolverOptions{}).LifetimeDistribution(battery, w, times, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-model", func(b *testing.B) {
+		s := NewSolver(SolverOptions{})
+		noMemo := opts
+		noMemo.Progress = func(done, total int) {}
+		if _, err := s.LifetimeDistribution(battery, w, times, noMemo); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.LifetimeDistribution(battery, w, times, noMemo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := NewSolver(SolverOptions{})
+		if _, err := s.LifetimeDistribution(battery, w, times, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.LifetimeDistribution(battery, w, times, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepParallel measures Solver.Sweep on the Figure 8
+// Δ-refinement grid, sequential vs all-cores — the scenario-level
+// scaling the sweep API exists for. Each iteration uses a fresh Solver
+// so every scenario is solved for real (no memo hits across b.N).
+func BenchmarkSweepParallel(b *testing.B) {
+	battery := Battery{CapacityAs: 7200, AvailableFraction: 0.625, FlowRate: 4.5e-5}
+	w, err := OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := []float64{10000, 15000, 20000}
+	var scenarios []Scenario
+	for _, delta := range []float64{100, 50, 25} {
+		scenarios = append(scenarios, Scenario{
+			Name: fmt.Sprintf("delta=%g", delta), Battery: battery, Workload: w,
+			DeltaAs: delta, Times: times,
+		})
+	}
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := NewSolver(SolverOptions{}).Sweep(scenarios, SweepOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

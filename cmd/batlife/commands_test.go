@@ -111,6 +111,56 @@ func TestCmdCompare(t *testing.T) {
 	}
 }
 
+func TestCmdSweep(t *testing.T) {
+	args := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "1", "-k", "0",
+		"-deltas", "720As,360As", "-until", "6h", "-points", "4", "-workers", "2",
+	}
+	if err := cmdSweep(args); err != nil {
+		t.Errorf("sweep: %v", err)
+	}
+	multi := []string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "1", "-k", "0",
+		"-capacities", "7200As,3600As", "-deltas", "720As",
+		"-until", "6h", "-points", "3",
+	}
+	if err := cmdSweep(multi); err != nil {
+		t.Errorf("sweep -capacities: %v", err)
+	}
+	if err := cmdSweep([]string{"-deltas", "nonsense"}); err == nil {
+		t.Error("bad delta accepted")
+	}
+	// Non-divisor deltas fail every scenario, which must fail the command.
+	if err := cmdSweep([]string{
+		"-workload", "onoff", "-capacity", "7200As", "-c", "1", "-k", "0",
+		"-deltas", "7As", "-until", "6h", "-points", "3",
+	}); err == nil {
+		t.Error("all-failing sweep reported success")
+	}
+}
+
+func TestCmdSweepSpec(t *testing.T) {
+	spec := `{
+	  "states": [
+	    {"name": "idle", "current": "8mA"},
+	    {"name": "send", "current": "200mA"}
+	  ],
+	  "transitions": [
+	    {"from": "idle", "to": "send", "rate_per_hour": 2},
+	    {"from": "send", "to": "idle", "rate_per_hour": 6}
+	  ],
+	  "initial": "idle"
+	}`
+	path := writeTempSpec(t, spec)
+	args := []string{
+		"-spec", path, "-capacity", "800mAh", "-c", "1", "-k", "0",
+		"-deltas", "80mAh", "-until", "30h", "-points", "3",
+	}
+	if err := cmdSweep(args); err != nil {
+		t.Errorf("sweep -spec: %v", err)
+	}
+}
+
 func TestDKWBand(t *testing.T) {
 	if b := dkwBand(1000); b < 0.042 || b > 0.044 {
 		t.Errorf("dkwBand(1000) = %v", b)

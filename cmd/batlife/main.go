@@ -10,6 +10,7 @@
 //	trace      charge-well evolution under a square wave
 //	mean       expected lifetime and stranded charge
 //	compare    approximation vs simulation (vs exact when c = 1)
+//	sweep      parallel scenario grid (capacities x discretisation steps)
 //
 // Quantities are written with units: currents as "0.96A"/"200mA",
 // charges as "800mAh"/"7200As", durations as "90min"/"2h"/"15000s".
@@ -24,6 +25,7 @@
 //	batlife simulate -workload onoff -capacity 2000mAh -c 1 -runs 1000 -until 6h -points 50
 //	batlife calibrate -capacity 2000mAh -c 0.625 -current 0.96A -target 90min
 //	batlife trace -capacity 2000mAh -c 0.625 -k 4.5e-5 -current 0.96A -freq 0.001 -until 4h
+//	batlife sweep -workload simple -capacity 800mAh -deltas 10mAh,5mAh,2.5mAh -until 30h -points 60
 package main
 
 import (
@@ -52,6 +54,8 @@ func main() {
 		err = cmdMean(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -77,6 +81,7 @@ subcommands:
   trace      charge-well evolution under a square wave
   mean       expected lifetime and stranded charge
   compare    approximation vs simulation (vs exact when c = 1)
+  sweep      parallel scenario grid (capacities x discretisation steps)
 
 run 'batlife <subcommand> -h' for flags
 `)

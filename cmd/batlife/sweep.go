@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"batlife"
+	"batlife/internal/units"
+)
+
+// cmdSweep evaluates a grid of scenarios — the cartesian product of the
+// requested capacities and discretisation steps over one workload — in
+// parallel through the public Solver, and prints the lifetime CDFs as
+// one wide table (one column per scenario). This is how the paper's
+// Δ-refinement figures (e.g. Figure 8) are produced in one run instead
+// of one `batlife cdf` invocation per curve.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	bf := addBatteryFlags(fs)
+	wf := addWorkloadFlags(fs)
+	deltas := fs.String("deltas", "10mAh,5mAh,2.5mAh", "comma-separated discretisation steps (charge units)")
+	capacities := fs.String("capacities", "", "comma-separated capacities to sweep (default: just -capacity)")
+	until := fs.String("until", "30h", "evaluation horizon")
+	points := fs.Int("points", 30, "number of evaluation points")
+	workers := fs.Int("workers", 0, "concurrent scenarios (0: number of CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := bf.params()
+	if err != nil {
+		return err
+	}
+	w, err := wf.public()
+	if err != nil {
+		return err
+	}
+	times, err := timeGrid(*until, *points)
+	if err != nil {
+		return err
+	}
+
+	capSpecs := []string{*bf.capacity}
+	if *capacities != "" {
+		capSpecs = strings.Split(*capacities, ",")
+	}
+	deltaSpecs := strings.Split(*deltas, ",")
+
+	var scenarios []batlife.Scenario
+	for _, cs := range capSpecs {
+		cap_, err := units.ParseCharge(strings.TrimSpace(cs))
+		if err != nil {
+			return fmt.Errorf("capacity %q: %w", cs, err)
+		}
+		for _, ds := range deltaSpecs {
+			d, err := units.ParseCharge(strings.TrimSpace(ds))
+			if err != nil {
+				return fmt.Errorf("delta %q: %w", ds, err)
+			}
+			name := fmt.Sprintf("Δ=%s", strings.TrimSpace(ds))
+			if len(capSpecs) > 1 {
+				name = fmt.Sprintf("C=%s %s", strings.TrimSpace(cs), name)
+			}
+			scenarios = append(scenarios, batlife.Scenario{
+				Name: name,
+				Battery: batlife.Battery{
+					CapacityAs:        cap_.AmpereSeconds(),
+					AvailableFraction: p.C,
+					FlowRate:          p.K,
+				},
+				Workload: w,
+				DeltaAs:  d.AmpereSeconds(),
+				Times:    times,
+			})
+		}
+	}
+
+	solver := batlife.NewSolver(batlife.SolverOptions{ModelCacheCapacity: len(scenarios)})
+	results, err := solver.Sweep(scenarios, batlife.SweepOptions{
+		Workers: *workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d scenarios", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	var failed int
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", r.Name, r.Err)
+		}
+	}
+	if failed == len(results) {
+		return fmt.Errorf("all %d scenarios failed", failed)
+	}
+
+	header := []string{"t_s", "t_h"}
+	for _, r := range results {
+		if r.Err == nil {
+			header = append(header, r.Name)
+		}
+	}
+	fmt.Println(strings.Join(header, "\t"))
+	for i, t := range times {
+		row := []string{fmt.Sprintf("%.1f", t), fmt.Sprintf("%.3f", t/3600)}
+		for _, r := range results {
+			if r.Err == nil {
+				row = append(row, fmt.Sprintf("%.6f", r.Distribution.EmptyProb[i]))
+			}
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	return nil
+}
+
+// public builds the workload as a public batlife.Workload — the sweep
+// command runs entirely on the facade so the Solver path the library
+// users take is the one the CLI exercises.
+func (wf workloadFlags) public() (*batlife.Workload, error) {
+	if *wf.spec != "" {
+		return loadPublicSpec(*wf.spec)
+	}
+	switch *wf.name {
+	case "simple":
+		return batlife.SimpleWireless()
+	case "burst":
+		return batlife.BurstWireless()
+	case "onoff":
+		cur, err := units.ParseCurrent(*wf.on)
+		if err != nil {
+			return nil, err
+		}
+		return batlife.OnOffWorkload(*wf.freq, *wf.k, cur.Amperes())
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want simple, burst or onoff)", *wf.name)
+	}
+}
+
+// loadPublicSpec reads the same JSON schema as loadSpec but builds the
+// public Workload type.
+func loadPublicSpec(path string) (*batlife.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read spec: %w", err)
+	}
+	var spec specFile
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("parse spec %s: %w", path, err)
+	}
+	states := make([]batlife.StateSpec, len(spec.States))
+	for i, s := range spec.States {
+		cur, err := units.ParseCurrent(s.Current)
+		if err != nil {
+			return nil, fmt.Errorf("spec %s, state %s: %w", path, s.Name, err)
+		}
+		states[i] = batlife.StateSpec{Name: s.Name, CurrentA: cur.Amperes()}
+	}
+	transitions := make([]batlife.TransitionSpec, len(spec.Transitions))
+	for i, tr := range spec.Transitions {
+		rate := tr.RatePerSecond
+		if tr.RatePerHour != 0 {
+			if rate != 0 {
+				return nil, fmt.Errorf("spec %s: transition %s->%s sets both rate units", path, tr.From, tr.To)
+			}
+			rate = units.PerHour(tr.RatePerHour).PerSecond()
+		}
+		transitions[i] = batlife.TransitionSpec{From: tr.From, To: tr.To, RatePerSec: rate}
+	}
+	w, err := batlife.NewWorkload(states, transitions, spec.Initial)
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return w, nil
+}

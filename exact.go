@@ -1,12 +1,5 @@
 package batlife
 
-import (
-	"fmt"
-
-	"batlife/internal/mrm"
-	"batlife/internal/performability"
-)
-
 // ExactLifetimeCDF computes the exact lifetime CDF Pr{battery empty at
 // t} for a battery with all charge available (AvailableFraction = 1,
 // where the battery empties exactly when the accumulated energy reaches
@@ -16,26 +9,15 @@ import (
 //
 // For two-well batteries (AvailableFraction < 1) there is no exact
 // method; use LifetimeDistribution with a small delta instead.
+//
+// Deprecated: Use [Solver.ExactCDF], which returns a *Distribution —
+// interchangeable with the approximate analyses downstream — and
+// memoises results. This wrapper delegates to [DefaultSolver]; its
+// EmptyProb values are identical to the slice returned here.
 func ExactLifetimeCDF(b Battery, w *Workload, times []float64) ([]float64, error) {
-	if w == nil {
-		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
-	}
-	if err := b.Validate(); err != nil {
+	d, err := DefaultSolver().ExactCDF(b, w, times, AnalysisOptions{})
+	if err != nil {
 		return nil, err
 	}
-	//numlint:ignore floatcmp AvailableFraction = 1 is an exact configuration sentinel, not a computed value
-	if b.AvailableFraction != 1 {
-		return nil, fmt.Errorf("%w: exact solution requires AvailableFraction = 1, got %v",
-			ErrBadArgument, b.AvailableFraction)
-	}
-	model := mrm.ConstantReward{
-		Chain:   w.model.Chain,
-		Rates:   w.model.Currents,
-		Initial: w.model.Initial,
-	}
-	probs, err := performability.EnergyDepletionCDF(model, b.CapacityAs, times)
-	if err != nil {
-		return nil, fmt.Errorf("batlife: %w", err)
-	}
-	return probs, nil
+	return d.EmptyProb, nil
 }

@@ -25,9 +25,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"batlife/internal/ctmc"
 	"batlife/internal/mrm"
@@ -61,7 +63,32 @@ type Options struct {
 	OnIteration func(done, total int)
 }
 
-// Expanded is the derived pure CTMC Q* for one model and step size.
+// SolveOptions tunes one transient solve on an already-built Expanded.
+// Zero fields fall back to the Options the model was built with (and
+// from there to the engine defaults), so an Expanded built once can be
+// queried under many numerical settings — the substrate of the cached
+// Solver facade.
+type SolveOptions struct {
+	// Epsilon bounds the truncated Poisson tail mass; zero falls back
+	// to the build Options, then to 1e-12.
+	Epsilon float64
+	// Workers sets the SpMV parallelism; ignored when Pool is set.
+	Workers int
+	// Pool, when non-nil, supplies a shared SpMV worker pool.
+	Pool *sparse.Pool
+	// MaxIterations caps uniformisation steps; exceeding it fails the
+	// solve with ctmc.ErrIterationBudget. Zero is unlimited.
+	MaxIterations int
+	// Context cancels the iteration loop between steps.
+	Context context.Context
+	// OnIteration is forwarded to the uniformisation engine.
+	OnIteration func(done, total int)
+}
+
+// Expanded is the derived pure CTMC Q* for one model and step size. It
+// is immutable after Build apart from the lazily-constructed, internally
+// synchronised uniformisation operator, so one Expanded may serve
+// concurrent solves (e.g. parallel scenario sweeps sharing a cache).
 type Expanded struct {
 	model mrm.KiBaMRM
 	delta float64
@@ -70,6 +97,12 @@ type Expanded struct {
 	gen    *sparse.CSR
 	alpha  []float64
 	opts   Options
+
+	// uniOnce guards the lazily-built uniformised operator shared by
+	// every transient solve on this model.
+	uniOnce sync.Once
+	uni     *ctmc.Uniformized
+	uniErr  error
 }
 
 // Build discretises the model's reward space with step delta (in
@@ -234,6 +267,44 @@ func (e *Expanded) Delta() float64 { return e.delta }
 // experiments. Callers must not modify it.
 func (e *Expanded) Generator() *sparse.CSR { return e.gen }
 
+// Operator returns the uniformised transposed operator (I + Q*/q)ᵀ of
+// the expanded chain, building it on first use and reusing it — together
+// with its cached Fox–Glynn weight tables — for every subsequent
+// transient solve on this model.
+func (e *Expanded) Operator() (*ctmc.Uniformized, error) {
+	e.uniOnce.Do(func() {
+		e.uni, e.uniErr = ctmc.NewUniformized(e.gen, ctmc.TransientOptions{})
+	})
+	if e.uniErr != nil {
+		return nil, fmt.Errorf("core: uniformised operator: %w", e.uniErr)
+	}
+	return e.uni, nil
+}
+
+// transientOpts merges per-solve options with the build-time defaults.
+func (e *Expanded) transientOpts(so SolveOptions) ctmc.TransientOptions {
+	eps := so.Epsilon
+	if eps <= 0 {
+		eps = e.opts.Epsilon
+	}
+	workers := so.Workers
+	if workers == 0 {
+		workers = e.opts.Workers
+	}
+	onIter := so.OnIteration
+	if onIter == nil {
+		onIter = e.opts.OnIteration
+	}
+	return ctmc.TransientOptions{
+		Epsilon:       eps,
+		Workers:       workers,
+		Pool:          so.Pool,
+		MaxIterations: so.MaxIterations,
+		Context:       so.Context,
+		OnIteration:   onIter,
+	}
+}
+
 // Result is a computed battery lifetime distribution.
 type Result struct {
 	// Times are the evaluation points, in seconds.
@@ -251,6 +322,14 @@ type Result struct {
 // LifetimeCDF computes Pr{battery empty at t} — the approximation of
 // equation (4) — at each of the given times (seconds, ascending).
 func (e *Expanded) LifetimeCDF(times []float64) (*Result, error) {
+	return e.LifetimeCDFOpts(times, SolveOptions{})
+}
+
+// LifetimeCDFOpts is LifetimeCDF with per-solve options; zero fields
+// fall back to the build Options. The solve reuses the model's cached
+// uniformisation operator, so repeated queries pay only the iteration
+// loop.
+func (e *Expanded) LifetimeCDFOpts(times []float64, so SolveOptions) (*Result, error) {
 	n := e.model.Workload.NumStates()
 	w := make([]float64, e.NumStates())
 	for j2 := 0; j2 < e.n2; j2++ {
@@ -258,11 +337,11 @@ func (e *Expanded) LifetimeCDF(times []float64) (*Result, error) {
 			w[e.index(i, 0, j2)] = 1
 		}
 	}
-	res, err := ctmc.TransientFunctional(e.gen, e.alpha, w, times, ctmc.TransientOptions{
-		Epsilon:     e.opts.Epsilon,
-		Workers:     e.opts.Workers,
-		OnIteration: e.opts.OnIteration,
-	})
+	u, err := e.Operator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.Transient(e.alpha, w, times, e.transientOpts(so))
 	if err != nil {
 		return nil, fmt.Errorf("core: lifetime CDF: %w", err)
 	}
@@ -286,10 +365,11 @@ func (e *Expanded) LifetimeCDF(times []float64) (*Result, error) {
 // charge levels at time t: out[j1] = Pr{Y1(t) ∈ level j1}. Useful for
 // inspecting how probability mass drains toward the empty slice.
 func (e *Expanded) StateDistribution(t float64) ([]float64, error) {
-	res, err := ctmc.TransientDistributions(e.gen, e.alpha, []float64{t}, ctmc.TransientOptions{
-		Epsilon: e.opts.Epsilon,
-		Workers: e.opts.Workers,
-	})
+	u, err := e.Operator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.Transient(e.alpha, nil, []float64{t}, e.transientOpts(SolveOptions{}))
 	if err != nil {
 		return nil, fmt.Errorf("core: state distribution: %w", err)
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"batlife/internal/ctmc"
 	"batlife/internal/sparse"
 )
 
@@ -100,10 +99,11 @@ type ChargeMoments struct {
 // probability mass drains down the grid over time — the distributional
 // view behind the lifetime CDF.
 func (e *Expanded) ChargeAt(t float64) (*ChargeMoments, error) {
-	res, err := ctmc.TransientDistributions(e.gen, e.alpha, []float64{t}, ctmc.TransientOptions{
-		Epsilon: e.opts.Epsilon,
-		Workers: e.opts.Workers,
-	})
+	u, err := e.Operator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.Transient(e.alpha, nil, []float64{t}, e.transientOpts(SolveOptions{}))
 	if err != nil {
 		return nil, fmt.Errorf("core: charge moments: %w", err)
 	}
@@ -172,10 +172,17 @@ func (wc *WastedCharge) Mean() float64 {
 // AbsorbedMass ≈ 1 and the conditional distribution is the depletion
 // distribution proper).
 func (e *Expanded) WastedChargeDistribution(t float64) (*WastedCharge, error) {
-	res, err := ctmc.TransientDistributions(e.gen, e.alpha, []float64{t}, ctmc.TransientOptions{
-		Epsilon: e.opts.Epsilon,
-		Workers: e.opts.Workers,
-	})
+	return e.WastedChargeDistributionOpts(t, SolveOptions{})
+}
+
+// WastedChargeDistributionOpts is WastedChargeDistribution with
+// per-solve options; zero fields fall back to the build Options.
+func (e *Expanded) WastedChargeDistributionOpts(t float64, so SolveOptions) (*WastedCharge, error) {
+	u, err := e.Operator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.Transient(e.alpha, nil, []float64{t}, e.transientOpts(so))
 	if err != nil {
 		return nil, fmt.Errorf("core: wasted charge: %w", err)
 	}

@@ -1,10 +1,12 @@
 package ctmc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"batlife/internal/check"
 	"batlife/internal/foxglynn"
@@ -14,13 +16,29 @@ import (
 // ErrBadInput reports invalid arguments to the transient engine.
 var ErrBadInput = errors.New("ctmc: bad transient input")
 
+// ErrIterationBudget reports that a transient solve would exceed the
+// caller-imposed MaxIterations bound.
+var ErrIterationBudget = errors.New("ctmc: iteration budget exceeded")
+
 // TransientOptions tunes the uniformisation engine.
 type TransientOptions struct {
 	// Epsilon bounds the truncated Poisson tail mass per time point.
 	// Zero selects 1e-12.
 	Epsilon float64
 	// Workers sets the SpMV parallelism; zero selects runtime.NumCPU().
+	// Ignored when Pool is set.
 	Workers int
+	// Pool, when non-nil, supplies the SpMV worker pool. Sharing one
+	// Pool across concurrent solves (e.g. a scenario sweep) keeps the
+	// total parallelism bounded instead of multiplying per solve.
+	Pool *sparse.Pool
+	// MaxIterations caps the number of uniformisation steps. When the
+	// Fox–Glynn window of the largest time point needs more, the solve
+	// fails with ErrIterationBudget before iterating. Zero is unlimited.
+	MaxIterations int
+	// Context, when non-nil, cancels the iteration loop between steps;
+	// the returned error wraps Context.Err().
+	Context context.Context
 	// UniformizationSlack multiplies the maximal exit rate to obtain the
 	// uniformisation constant q. Zero selects 1.02; the slack guarantees
 	// strictly positive self-loop probabilities, which improves the
@@ -53,6 +71,13 @@ func (o TransientOptions) slack() float64 {
 	return o.UniformizationSlack
 }
 
+func (o TransientOptions) pool() *sparse.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return sparse.NewPool(o.Workers)
+}
+
 // Result is the output of a transient solve.
 type Result struct {
 	// Times echoes the requested time points.
@@ -68,13 +93,89 @@ type Result struct {
 	Rate float64
 }
 
+// Uniformized is a reusable uniformisation operator for one generator:
+// the uniformisation constant q, the transposed probabilistic matrix
+// Pᵀ = (I + Q/q)ᵀ, and a cache of Fox–Glynn weight tables keyed on
+// (q·t, ε). Building Pᵀ costs a full transpose-and-scale pass over the
+// generator, so callers issuing many transient queries against the same
+// chain should construct the operator once and call Transient
+// repeatedly. A Uniformized is immutable apart from the internally
+// synchronised weight cache and is safe for concurrent use.
+type Uniformized struct {
+	gen *sparse.CSR
+	q   float64
+	pt  *sparse.CSR // nil when q == 0 (no transitions anywhere)
+
+	mu      sync.RWMutex
+	weights map[weightKey]*foxglynn.Weights
+}
+
+// weightKey identifies one Fox–Glynn table by the exact bit patterns of
+// its Poisson rate q·t and truncation epsilon.
+type weightKey struct {
+	qt, eps uint64
+}
+
+// NewUniformized builds the reusable operator for the generator. Only
+// UniformizationSlack is consulted from opts; the remaining fields are
+// per-solve and passed to Transient.
+func NewUniformized(gen *sparse.CSR, opts TransientOptions) (*Uniformized, error) {
+	n := gen.Rows()
+	if gen.Cols() != n {
+		return nil, fmt.Errorf("%w: generator is %dx%d", ErrBadInput, gen.Rows(), gen.Cols())
+	}
+	u := &Uniformized{
+		gen:     gen,
+		q:       gen.MaxAbsDiagonal() * opts.slack(),
+		weights: make(map[weightKey]*foxglynn.Weights),
+	}
+	if u.q > 0 {
+		pt, err := uniformizedTransposed(gen, u.q)
+		if err != nil {
+			return nil, err
+		}
+		u.pt = pt
+	}
+	return u, nil
+}
+
+// Rate reports the uniformisation constant q.
+func (u *Uniformized) Rate() float64 { return u.q }
+
+// NumStates reports the dimension of the underlying chain.
+func (u *Uniformized) NumStates() int { return u.gen.Rows() }
+
+// weightsFor returns the Fox–Glynn table for time t and truncation eps,
+// computing and caching it on first use.
+func (u *Uniformized) weightsFor(t, eps float64) (*foxglynn.Weights, error) {
+	key := weightKey{qt: math.Float64bits(u.q * t), eps: math.Float64bits(eps)}
+	u.mu.RLock()
+	fw, ok := u.weights[key]
+	u.mu.RUnlock()
+	if ok {
+		return fw, nil
+	}
+	fw, err := foxglynn.Compute(u.q*t, eps)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	u.weights[key] = fw
+	u.mu.Unlock()
+	return fw, nil
+}
+
 // TransientDistributions computes the full state distribution of the
 // CTMC with the given generator at each time point via uniformisation.
 // The generator may be any valid infinitesimal generator, including ones
 // with absorbing states; validity is the caller's responsibility at this
 // level (Chain validates on construction).
 func TransientDistributions(gen *sparse.CSR, alpha, times []float64, opts TransientOptions) (*Result, error) {
-	return transient(gen, alpha, nil, times, opts)
+	u, err := NewUniformized(gen, opts)
+	if err != nil {
+		return nil, err
+	}
+	return u.Transient(alpha, nil, times, opts)
 }
 
 // TransientFunctional computes w·π(t) — the probability-weighted sum of
@@ -85,14 +186,21 @@ func TransientFunctional(gen *sparse.CSR, alpha, w, times []float64, opts Transi
 	if w == nil {
 		return nil, fmt.Errorf("%w: nil functional", ErrBadInput)
 	}
-	return transient(gen, alpha, w, times, opts)
+	u, err := NewUniformized(gen, opts)
+	if err != nil {
+		return nil, err
+	}
+	return u.Transient(alpha, w, times, opts)
 }
 
-func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions) (*Result, error) {
-	n := gen.Rows()
-	if gen.Cols() != n {
-		return nil, fmt.Errorf("%w: generator is %dx%d", ErrBadInput, gen.Rows(), gen.Cols())
-	}
+// Transient runs one uniformisation solve on the prebuilt operator: the
+// full distribution π(t) at each time point when w is nil, or the
+// functional w·π(t) otherwise. The operator's cached Pᵀ and Fox–Glynn
+// tables are reused across calls; Epsilon, Workers/Pool, MaxIterations,
+// Context and the callbacks are per-call (UniformizationSlack is fixed
+// at construction and ignored here).
+func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions) (*Result, error) {
+	n := u.gen.Rows()
 	if len(alpha) != n {
 		return nil, fmt.Errorf("%w: |alpha|=%d for %d states", ErrBadInput, len(alpha), n)
 	}
@@ -121,14 +229,13 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 		return nil, fmt.Errorf("%w: time points must be ascending", ErrBadInput)
 	}
 
-	check.GeneratorRows("ctmc.transient generator", gen)
+	check.GeneratorRows("ctmc.transient generator", u.gen)
 	check.Probabilities("ctmc.transient initial distribution", alpha)
 
 	res := &Result{Times: append([]float64(nil), times...)}
-	q := gen.MaxAbsDiagonal() * opts.slack()
-	res.Rate = q
+	res.Rate = u.q
 
-	if q == 0 {
+	if u.q == 0 {
 		// No transitions anywhere: the distribution never moves.
 		return validatedResult(frozenResult(res, alpha, w, times)), nil
 	}
@@ -137,7 +244,7 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 	weights := make([]*foxglynn.Weights, len(times))
 	maxRight := 0
 	for k, t := range times {
-		fw, err := foxglynn.Compute(q*t, opts.epsilon())
+		fw, err := u.weightsFor(t, opts.epsilon())
 		if err != nil {
 			return nil, fmt.Errorf("ctmc: poisson weights for t=%v: %w", t, err)
 		}
@@ -146,14 +253,12 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 			maxRight = fw.Right
 		}
 	}
-
-	// P = I + Q/q, stored transposed so v·P becomes Pᵀ·v, a plain
-	// parallelisable matrix-vector product.
-	pt, err := uniformizedTransposed(gen, q)
-	if err != nil {
-		return nil, err
+	if opts.MaxIterations > 0 && maxRight > opts.MaxIterations {
+		return nil, fmt.Errorf("%w: solve needs %d uniformisation steps, limit is %d",
+			ErrIterationBudget, maxRight, opts.MaxIterations)
 	}
-	pool := sparse.NewPool(opts.Workers)
+
+	pool := opts.pool()
 
 	// Accumulators.
 	if w == nil {
@@ -210,11 +315,16 @@ func transient(gen *sparse.CSR, alpha, w, times []float64, opts TransientOptions
 	v := append([]float64(nil), alpha...)
 	next := make([]float64, n)
 	for it := 0; it <= maxRight; it++ {
+		if ctx := opts.Context; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ctmc: transient solve cancelled at step %d: %w", it, err)
+			}
+		}
 		foldIn(it, v, false)
 		if it == maxRight {
 			break
 		}
-		if err := pool.MulVec(pt, next, v); err != nil {
+		if err := pool.MulVec(u.pt, next, v); err != nil {
 			return nil, fmt.Errorf("ctmc: uniformisation step %d: %w", it, err)
 		}
 		if !opts.DisableSteadyStateDetection && it%checkEvery == 0 {

@@ -1,0 +1,154 @@
+// Package engine is the reusable solving substrate behind the
+// batlife.Solver facade. The paper's experiments (Figs. 7–9, Table 2)
+// evaluate the same KiBaMRM at many step sizes, time grids and initial
+// capacities; every such query pays for expanding the CTMC Q* and
+// uniformising it before a single iteration runs. The engine amortises
+// that construction: expanded models are kept in a bounded LRU cache
+// keyed by a fingerprint of (battery constants, workload chain, step Δ,
+// build options), and each cached model carries its own uniformised
+// operator and Fox–Glynn tables (see core.Expanded.Operator), so a
+// repeated query skips straight to the transient iteration — or, one
+// layer up, to a memoised result.
+//
+// The engine also owns the SpMV worker pool shared by every solve it
+// serves, so concurrent scenario sweeps draw from one bounded pool
+// instead of multiplying goroutines per query.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"batlife/internal/core"
+	"batlife/internal/mrm"
+	"batlife/internal/sparse"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Capacity bounds the number of expanded CTMCs retained; at most
+	// Capacity models (each O(states + transitions) memory) are live at
+	// once. Values < 1 select 8.
+	Capacity int
+	// Workers sets the parallelism of the shared SpMV pool; values < 1
+	// select runtime.NumCPU().
+	Workers int
+}
+
+// Engine caches expanded CTMCs across queries. It is safe for
+// concurrent use; concurrent misses on the same key may build the model
+// twice, with the last build winning the cache slot (both results are
+// correct, so no singleflight is needed).
+type Engine struct {
+	pool   *sparse.Pool
+	models *Cache[Key, *core.Expanded]
+}
+
+// New returns an Engine with the given cache bound and worker pool.
+func New(o Options) *Engine {
+	capacity := o.Capacity
+	if capacity < 1 {
+		capacity = 8
+	}
+	return &Engine{
+		pool:   sparse.NewPool(o.Workers),
+		models: NewCache[Key, *core.Expanded](capacity),
+	}
+}
+
+// Pool returns the engine's shared SpMV worker pool.
+func (e *Engine) Pool() *sparse.Pool { return e.pool }
+
+// CachedModels reports how many expanded models are currently retained.
+func (e *Engine) CachedModels() int { return e.models.Len() }
+
+// Key identifies one expanded model in the cache: a SHA-256 digest of
+// the model's full content (battery constants, workload generator,
+// currents, initial distribution, charging flag), the step Δ and the
+// build options. Content addressing makes structurally identical models
+// share an entry even when built through different Workload values.
+type Key [sha256.Size]byte
+
+// Fingerprint computes the cache key for (model, delta, build). The
+// second result reports cacheability: build hooks are functions and
+// cannot be fingerprinted, so models using TransitionRate or OnIteration
+// bypass the cache.
+func Fingerprint(m mrm.KiBaMRM, delta float64, build core.Options) (Key, bool) {
+	if build.TransitionRate != nil || build.OnIteration != nil {
+		return Key{}, false
+	}
+	h := sha256.New()
+	var buf [8]byte
+	writeF := func(x float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	writeU := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	writeF(delta)
+	writeF(m.Battery.Capacity)
+	writeF(m.Battery.C)
+	writeF(m.Battery.K)
+	var flags uint64
+	if m.AllowCharging {
+		flags |= 1
+	}
+	if build.AllowEmptyRecovery {
+		flags |= 2
+	}
+	writeU(flags)
+	// Build-time numerical defaults live on the Expanded and seed later
+	// solves, so they are part of the identity.
+	writeF(build.Epsilon)
+	writeU(uint64(int64(build.Workers)))
+
+	if m.Workload == nil {
+		// Invalid model: let core.Build produce the error. Still
+		// fingerprintable (all invalid-nil models alias one key that
+		// never reaches the cache because Build fails first).
+		return Key(sha256.Sum256([]byte("engine: nil workload"))), true
+	}
+	n := m.Workload.NumStates()
+	writeU(uint64(int64(n)))
+	for _, c := range m.Currents {
+		writeF(c)
+	}
+	for _, a := range m.Initial {
+		writeF(a)
+	}
+	gen := m.Workload.Generator()
+	for r := 0; r < gen.Rows(); r++ {
+		gen.Row(r, func(col int, v float64) {
+			writeU(uint64(int64(r))<<32 | uint64(int64(col)))
+			writeF(v)
+		})
+	}
+	var key Key
+	h.Sum(key[:0])
+	return key, true
+}
+
+// Expanded returns the expanded CTMC for (model, delta, build), reusing
+// a cached instance when the fingerprint matches and building (and
+// caching) it otherwise. Cached models are shared across callers and
+// must be treated as immutable — which core.Expanded guarantees for its
+// public API.
+func (e *Engine) Expanded(m mrm.KiBaMRM, delta float64, build core.Options) (*core.Expanded, error) {
+	key, cacheable := Fingerprint(m, delta, build)
+	if cacheable {
+		if x, ok := e.models.Get(key); ok {
+			return x, nil
+		}
+	}
+	x, err := core.Build(m, delta, build)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		e.models.Put(key, x)
+	}
+	return x, nil
+}

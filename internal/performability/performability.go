@@ -20,6 +20,7 @@
 package performability
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -48,25 +49,34 @@ func Distribution(m mrm.ConstantReward, t, y float64) (float64, error) {
 	if err := m.Validate(); err != nil {
 		return 0, fmt.Errorf("performability: %w", err)
 	}
+	f, _, err := distributionCounted(m, t, y)
+	return f, err
+}
+
+// distributionCounted is Distribution without the model validation (the
+// caller has already validated), additionally reporting the number of
+// transform evaluations spent — the matrix-exponential work unit that
+// Stats surfaces to the facade.
+func distributionCounted(m mrm.ConstantReward, t, y float64) (float64, int, error) {
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return 0, fmt.Errorf("%w: time %v", ErrBadQuery, t)
+		return 0, 0, fmt.Errorf("%w: time %v", ErrBadQuery, t)
 	}
 	if math.IsNaN(y) {
-		return 0, fmt.Errorf("%w: level NaN", ErrBadQuery)
+		return 0, 0, fmt.Errorf("%w: level NaN", ErrBadQuery)
 	}
 	// Support bounds: Y(t) ∈ [min r·t, max r·t].
 	minR, maxR := rateRange(m.Rates)
 	if t == 0 {
 		if y >= 0 {
-			return 1, nil
+			return 1, 0, nil
 		}
-		return 0, nil
+		return 0, 0, nil
 	}
 	if y >= maxR*t {
-		return 1, nil
+		return 1, 0, nil
 	}
 	if y < minR*t {
-		return 0, nil
+		return 0, 0, nil
 	}
 	// Shift rewards so the minimum rate is zero: Y(t) = minR·t + Y'(t)
 	// with Y' having non-negative rates. The inversion then works on a
@@ -81,9 +91,11 @@ func Distribution(m mrm.ConstantReward, t, y float64) (float64, error) {
 		// probability of spending all of [0, t] in minimum-rate states.
 		// The inversion cannot resolve the boundary atom, so compute it
 		// directly via the taboo process restricted to those states.
-		return atomAtZero(m, shifted, t), nil
+		// One restricted matrix exponential ≈ one transform evaluation.
+		return atomAtZero(m, shifted, t), 1, nil
 	}
-	return invert(m, shifted, t, yPrime)
+	f, err := invert(m, shifted, t, yPrime)
+	return f, eulerN + eulerM + 1, err
 }
 
 // EnergyDepletionCDF returns Pr{Y(t) ≥ capacity} at each time — the
@@ -91,27 +103,57 @@ func Distribution(m mrm.ConstantReward, t, y float64) (float64, error) {
 // by first-passage duality. All reward rates must be non-negative (they
 // are currents) and capacity positive.
 func EnergyDepletionCDF(m mrm.ConstantReward, capacity float64, times []float64) ([]float64, error) {
+	probs, _, err := EnergyDepletionCDFStats(m, capacity, times, nil)
+	return probs, err
+}
+
+// Stats summarises the work behind one EnergyDepletionCDFStats call, in
+// the shape the facade reports for every analysis: the size of the
+// model that was solved and an iteration count — here the number of
+// transform-domain evaluations φ(s) performed by the Euler inversion.
+type Stats struct {
+	// States and Transitions describe the workload CTMC.
+	States, Transitions int
+	// TransformEvals counts evaluations of the Laplace transform
+	// φ(s) = α·exp((Q − s·diag(r))t)·𝟙, the unit of work of the
+	// inversion (each costs one complex matrix exponential).
+	TransformEvals int
+}
+
+// EnergyDepletionCDFStats is EnergyDepletionCDF with work statistics
+// and optional cancellation: a non-nil ctx is checked between time
+// points and aborts the evaluation with an error wrapping ctx.Err().
+func EnergyDepletionCDFStats(m mrm.ConstantReward, capacity float64, times []float64, ctx context.Context) ([]float64, Stats, error) {
+	var stats Stats
 	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("performability: %w", err)
+		return nil, stats, fmt.Errorf("performability: %w", err)
 	}
+	stats.States = m.Chain.NumStates()
+	stats.Transitions = m.Chain.Generator().NNZ()
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
-		return nil, fmt.Errorf("%w: capacity %v", ErrBadQuery, capacity)
+		return nil, stats, fmt.Errorf("%w: capacity %v", ErrBadQuery, capacity)
 	}
 	for _, r := range m.Rates {
 		if r < 0 {
-			return nil, fmt.Errorf("%w: negative reward rate %v (currents required)", ErrBadQuery, r)
+			return nil, stats, fmt.Errorf("%w: negative reward rate %v (currents required)", ErrBadQuery, r)
 		}
 	}
 	out := make([]float64, len(times))
 	for k, t := range times {
-		f, err := Distribution(m, t, capacity)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, fmt.Errorf("performability: cancelled at time point %d: %w", k, err)
+			}
+		}
+		f, evals, err := distributionCounted(m, t, capacity)
+		stats.TransformEvals += evals
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 		p := 1 - f
 		out[k] = math.Min(1, math.Max(0, p))
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 func rateRange(rates []float64) (minR, maxR float64) {

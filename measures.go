@@ -13,19 +13,12 @@ import (
 // same grid-step trade-off as LifetimeDistribution applies: the value
 // converges to the true mean as deltaAs shrinks, approaching from
 // below.
+//
+// Deprecated: Use [Solver.ExpectedLifetime], which caches the expanded
+// CTMC across queries. This wrapper delegates to [DefaultSolver] and
+// produces identical output.
 func ExpectedLifetime(b Battery, w *Workload, deltaAs float64) (float64, error) {
-	if w == nil {
-		return 0, fmt.Errorf("%w: nil workload", ErrBadArgument)
-	}
-	e, err := core.Build(w.kibamrm(b), deltaAs, core.Options{})
-	if err != nil {
-		return 0, fmt.Errorf("batlife: %w", err)
-	}
-	mean, err := e.MeanLifetime()
-	if err != nil {
-		return 0, fmt.Errorf("batlife: %w", err)
-	}
-	return mean, nil
+	return DefaultSolver().ExpectedLifetime(b, w, AnalysisOptions{Delta: deltaAs})
 }
 
 // StrandedCharge describes the bound charge left in the battery at the
@@ -43,30 +36,12 @@ type StrandedCharge struct {
 // battery under the workload, evaluated at a horizon far past the
 // lifetime's upper tail (horizonSeconds; it must be late enough that
 // depletion is near-certain, or an error is returned).
+//
+// Deprecated: Use [Solver.StrandedCharge], which caches the expanded
+// CTMC across queries. This wrapper delegates to [DefaultSolver] and
+// produces identical output.
 func ExpectedStrandedCharge(b Battery, w *Workload, deltaAs, horizonSeconds float64) (*StrandedCharge, error) {
-	if w == nil {
-		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
-	}
-	if b.AvailableFraction >= 1 {
-		return &StrandedCharge{}, nil // no bound well, nothing to strand
-	}
-	e, err := core.Build(w.kibamrm(b), deltaAs, core.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("batlife: %w", err)
-	}
-	wc, err := e.WastedChargeDistribution(horizonSeconds)
-	if err != nil {
-		return nil, fmt.Errorf("batlife: %w", err)
-	}
-	if wc.AbsorbedMass < 0.99 {
-		return nil, fmt.Errorf("%w: only %.1f%% of runs depleted by the horizon; increase horizonSeconds",
-			ErrBadArgument, 100*wc.AbsorbedMass)
-	}
-	bound := (1 - b.AvailableFraction) * b.CapacityAs
-	return &StrandedCharge{
-		MeanAs:          wc.Mean(),
-		FractionOfBound: wc.Mean() / bound,
-	}, nil
+	return DefaultSolver().StrandedCharge(b, w, horizonSeconds, AnalysisOptions{Delta: deltaAs})
 }
 
 // WorkloadPhase is one segment of a time-varying usage scenario: the
@@ -97,7 +72,7 @@ func PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, deltaAs float
 	}
 	res, err := core.PhasedLifetimeCDF(mps, deltaAs, times, core.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("batlife: %w", err)
+		return nil, wrapErr(err)
 	}
 	return &Distribution{
 		Times:       res.Times,

@@ -1,0 +1,502 @@
+package batlife
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"batlife/internal/core"
+	"batlife/internal/ctmc"
+	"batlife/internal/engine"
+	"batlife/internal/mrm"
+	"batlife/internal/performability"
+	"batlife/internal/sparse"
+)
+
+// ErrIterationLimit reports that an analysis was refused because its
+// transient solve would exceed AnalysisOptions.MaxIterations.
+var ErrIterationLimit = errors.New("batlife: iteration limit exceeded")
+
+// AnalysisOptions tunes one Solver analysis. The zero value selects the
+// engine defaults everywhere except Delta, which the approximate
+// analyses require.
+type AnalysisOptions struct {
+	// Delta is the charge discretisation step in ampere-seconds; it
+	// must divide both well capacities. Required by the approximate
+	// analyses (LifetimeDistribution, ExpectedLifetime, StrandedCharge);
+	// ignored by ExactCDF, which needs no grid.
+	Delta float64
+	// Epsilon bounds the truncated Poisson tail mass of the transient
+	// solve; zero selects 1e-12.
+	Epsilon float64
+	// MaxIterations caps the number of uniformisation steps. A solve
+	// whose Fox–Glynn window needs more fails up front with an error
+	// matching ErrIterationLimit. Zero is unlimited.
+	MaxIterations int
+	// Context, when non-nil, cancels long-running solves between
+	// iterations; the returned error wraps Context.Err().
+	Context context.Context
+	// Progress, when non-nil, is invoked after every uniformisation
+	// step with (done, total). Setting it bypasses the solver's result
+	// memo for the call — a memoised answer performs no iterations, so
+	// replaying progress would be a lie.
+	Progress func(done, total int)
+}
+
+// SolverOptions configures a Solver.
+type SolverOptions struct {
+	// ModelCacheCapacity bounds the number of expanded CTMCs the solver
+	// retains across queries, each costing O(states + transitions)
+	// memory. Values < 1 select 8.
+	ModelCacheCapacity int
+	// ResultCacheCapacity bounds the number of memoised analysis
+	// results (distributions and scalars — cheap compared to models).
+	// Values < 1 select 64.
+	ResultCacheCapacity int
+	// Workers sets the SpMV parallelism of the solver's shared worker
+	// pool; values < 1 select runtime.NumCPU().
+	Workers int
+}
+
+// Solver is a reusable analysis engine: it caches expanded CTMCs —
+// keyed on (battery, workload, Δ) — together with their uniformised
+// operators and Fox–Glynn weight tables, and memoises full analysis
+// results, so repeated queries against the same model skip construction
+// entirely. All methods are safe for concurrent use; Sweep evaluates
+// whole scenario grids in parallel on top of the shared cache.
+//
+// The free functions LifetimeDistribution, ExpectedLifetime,
+// ExpectedStrandedCharge and ExactLifetimeCDF are thin deprecated
+// wrappers over a process-wide default Solver (see DefaultSolver).
+type Solver struct {
+	eng     *engine.Engine
+	results *engine.Cache[resultKey, any]
+}
+
+// NewSolver returns a Solver with the given cache bounds and worker
+// pool.
+func NewSolver(opts SolverOptions) *Solver {
+	rc := opts.ResultCacheCapacity
+	if rc < 1 {
+		rc = 64
+	}
+	return &Solver{
+		eng: engine.New(engine.Options{
+			Capacity: opts.ModelCacheCapacity,
+			Workers:  opts.Workers,
+		}),
+		results: engine.NewCache[resultKey, any](rc),
+	}
+}
+
+var defaultSolver = sync.OnceValue(func() *Solver {
+	// The deprecated free functions previously built and discarded one
+	// expanded model per call; a small model cache keeps their memory
+	// footprint modest while still serving repeated-query workloads.
+	return NewSolver(SolverOptions{ModelCacheCapacity: 2})
+})
+
+// DefaultSolver returns the process-wide Solver that backs the
+// deprecated free functions. Use a dedicated NewSolver to size caches
+// for heavy workloads.
+func DefaultSolver() *Solver { return defaultSolver() }
+
+// CachedModels reports how many expanded CTMCs the solver currently
+// retains — an observability hook for cache sizing.
+func (s *Solver) CachedModels() int { return s.eng.CachedModels() }
+
+// analysis kinds for result memoisation.
+const (
+	kindCDF = iota + 1
+	kindMean
+	kindStranded
+	kindExact
+)
+
+// resultKey identifies one memoised analysis result.
+type resultKey struct {
+	model    engine.Key
+	query    [sha256.Size]byte // hash of times / horizon
+	kind     uint8
+	epsBits  uint64
+	maxIter  int
+	capBits  uint64 // ExactCDF: capacity (its model key has no grid)
+	exactCDF bool
+}
+
+// hashFloats digests a float64 slice by exact bit patterns.
+func hashFloats(xs []float64) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(len(xs))))
+	h.Write(buf[:])
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// memoKey builds the result-cache key for a query. The second result
+// reports whether memoisation applies (a Progress callback opts out).
+func memoKey(kind uint8, model engine.Key, query []float64, opts AnalysisOptions) (resultKey, bool) {
+	if opts.Progress != nil {
+		return resultKey{}, false
+	}
+	return resultKey{
+		model:   model,
+		query:   hashFloats(query),
+		kind:    kind,
+		epsBits: math.Float64bits(opts.Epsilon),
+		maxIter: opts.MaxIterations,
+	}, true
+}
+
+// clone deep-copies a Distribution so cached results stay immutable
+// under caller mutation.
+func (d *Distribution) clone() *Distribution {
+	if d == nil {
+		return nil
+	}
+	out := *d
+	out.Times = append([]float64(nil), d.Times...)
+	out.EmptyProb = append([]float64(nil), d.EmptyProb...)
+	return &out
+}
+
+// wrapErr normalises internal errors for the facade: argument-class
+// failures (bad grid step, malformed model, bad query ranges) become
+// errors.Is-matchable against ErrBadArgument, iteration-budget refusals
+// against ErrIterationLimit, and everything else keeps the "batlife:"
+// prefix with the cause chain intact (so context.Canceled and friends
+// still match through it).
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrBadArgument) || errors.Is(err, ErrIterationLimit) {
+		return err
+	}
+	if errors.Is(err, core.ErrBadGrid) || errors.Is(err, mrm.ErrBadModel) ||
+		errors.Is(err, ctmc.ErrBadInput) || errors.Is(err, performability.ErrBadQuery) {
+		return fmt.Errorf("%w: %w", ErrBadArgument, err)
+	}
+	if errors.Is(err, ctmc.ErrIterationBudget) {
+		return fmt.Errorf("%w: %w", ErrIterationLimit, err)
+	}
+	return fmt.Errorf("batlife: %w", err)
+}
+
+// solveOptions translates facade options into core solve options.
+func solveOptions(opts AnalysisOptions, pool *sparse.Pool) core.SolveOptions {
+	return core.SolveOptions{
+		Epsilon:       opts.Epsilon,
+		Pool:          pool,
+		MaxIterations: opts.MaxIterations,
+		Context:       opts.Context,
+		OnIteration:   opts.Progress,
+	}
+}
+
+// expanded validates the (battery, workload, delta) triple and returns
+// the — possibly cached — expanded CTMC plus its cache key.
+func (s *Solver) expanded(b Battery, w *Workload, opts AnalysisOptions) (*core.Expanded, engine.Key, error) {
+	if w == nil {
+		return nil, engine.Key{}, fmt.Errorf("%w: nil workload", ErrBadArgument)
+	}
+	if opts.Delta <= 0 || math.IsNaN(opts.Delta) {
+		return nil, engine.Key{}, fmt.Errorf("%w: discretisation step Delta %v (set AnalysisOptions.Delta to a positive divisor of the well capacities)",
+			ErrBadArgument, opts.Delta)
+	}
+	model := w.kibamrm(b)
+	key, _ := engine.Fingerprint(model, opts.Delta, core.Options{})
+	e, err := s.eng.Expanded(model, opts.Delta, core.Options{})
+	if err != nil {
+		return nil, engine.Key{}, wrapErr(err)
+	}
+	return e, key, nil
+}
+
+// LifetimeDistribution computes the paper's Markovian approximation of
+// the lifetime CDF at the given times (seconds, ascending), reusing the
+// cached expanded CTMC for (battery, workload, opts.Delta) when one
+// exists. See the package-level LifetimeDistribution for the numerical
+// trade-offs of the Δ grid.
+func (s *Solver) LifetimeDistribution(b Battery, w *Workload, times []float64, opts AnalysisOptions) (*Distribution, error) {
+	return s.lifetimeDistribution(b, w, times, opts, s.eng.Pool())
+}
+
+func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, opts AnalysisOptions, pool *sparse.Pool) (*Distribution, error) {
+	e, modelKey, err := s.expanded(b, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	key, memoable := memoKey(kindCDF, modelKey, times, opts)
+	if memoable {
+		if v, ok := s.results.Get(key); ok {
+			return v.(*Distribution).clone(), nil
+		}
+	}
+	res, err := e.LifetimeCDFOpts(times, solveOptions(opts, pool))
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	d := &Distribution{
+		Times:       res.Times,
+		EmptyProb:   res.EmptyProb,
+		States:      res.States,
+		Transitions: res.NNZ,
+		Iterations:  res.Iterations,
+	}
+	if memoable {
+		s.results.Put(key, d.clone())
+	}
+	return d, nil
+}
+
+// ExpectedLifetime computes E[L] on the expanded chain by solving the
+// absorption-time equations (no time grid needed); see the package
+// function of the same name. Epsilon, MaxIterations, Context and
+// Progress do not apply to the direct linear solve and are ignored.
+func (s *Solver) ExpectedLifetime(b Battery, w *Workload, opts AnalysisOptions) (float64, error) {
+	e, modelKey, err := s.expanded(b, w, opts)
+	if err != nil {
+		return 0, err
+	}
+	key, memoable := memoKey(kindMean, modelKey, nil, opts)
+	if memoable {
+		if v, ok := s.results.Get(key); ok {
+			return v.(float64), nil
+		}
+	}
+	mean, err := e.MeanLifetime()
+	if err != nil {
+		return 0, wrapErr(err)
+	}
+	if memoable {
+		s.results.Put(key, mean)
+	}
+	return mean, nil
+}
+
+// StrandedCharge computes the stranded-charge summary at a horizon far
+// past the lifetime's upper tail; see ExpectedStrandedCharge for the
+// measure's semantics. The horizon must leave at least 99% of the
+// probability mass depleted, or an error matching ErrBadArgument is
+// returned.
+func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, opts AnalysisOptions) (*StrandedCharge, error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
+	}
+	if b.AvailableFraction >= 1 {
+		return &StrandedCharge{}, nil // no bound well, nothing to strand
+	}
+	e, modelKey, err := s.expanded(b, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	key, memoable := memoKey(kindStranded, modelKey, []float64{horizonSeconds}, opts)
+	if memoable {
+		if v, ok := s.results.Get(key); ok {
+			sc := v.(StrandedCharge)
+			return &sc, nil
+		}
+	}
+	wc, err := e.WastedChargeDistributionOpts(horizonSeconds, solveOptions(opts, s.eng.Pool()))
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	if wc.AbsorbedMass < 0.99 {
+		return nil, fmt.Errorf("%w: only %.1f%% of runs depleted by the horizon; increase horizonSeconds",
+			ErrBadArgument, 100*wc.AbsorbedMass)
+	}
+	bound := (1 - b.AvailableFraction) * b.CapacityAs
+	sc := StrandedCharge{
+		MeanAs:          wc.Mean(),
+		FractionOfBound: wc.Mean() / bound,
+	}
+	if memoable {
+		s.results.Put(key, sc)
+	}
+	return &sc, nil
+}
+
+// ExactCDF computes the exact lifetime CDF for a battery with all
+// charge available (AvailableFraction = 1) via the performability
+// transform — the same quantity as the deprecated ExactLifetimeCDF, but
+// returned as a *Distribution whose States, Transitions and Iterations
+// reflect the workload chain and the number of transform evaluations,
+// making the exact path interchangeable with the approximate ones
+// downstream. Delta, Epsilon and Progress are ignored (the transform
+// needs no grid and reports no step-wise progress); Context cancels
+// between time points.
+func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts AnalysisOptions) (*Distribution, error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	//numlint:ignore floatcmp AvailableFraction = 1 is an exact configuration sentinel, not a computed value
+	if b.AvailableFraction != 1 {
+		return nil, fmt.Errorf("%w: exact solution requires AvailableFraction = 1, got %v",
+			ErrBadArgument, b.AvailableFraction)
+	}
+	model := mrm.ConstantReward{
+		Chain:   w.model.Chain,
+		Rates:   w.model.Currents,
+		Initial: w.model.Initial,
+	}
+	// The exact path has no expanded model; key on the workload chain
+	// (via the KiBaMRM fingerprint at a dummy Δ) plus the capacity.
+	modelKey, _ := engine.Fingerprint(w.kibamrm(b), 1, core.Options{})
+	key, memoable := memoKey(kindExact, modelKey, times, opts)
+	key.capBits = math.Float64bits(b.CapacityAs)
+	key.exactCDF = true
+	if memoable {
+		if v, ok := s.results.Get(key); ok {
+			return v.(*Distribution).clone(), nil
+		}
+	}
+	probs, stats, err := performability.EnergyDepletionCDFStats(model, b.CapacityAs, times, opts.Context)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	d := &Distribution{
+		Times:       append([]float64(nil), times...),
+		EmptyProb:   probs,
+		States:      stats.States,
+		Transitions: stats.Transitions,
+		Iterations:  stats.TransformEvals,
+	}
+	if memoable {
+		s.results.Put(key, d.clone())
+	}
+	return d, nil
+}
+
+// Scenario is one cell of a Sweep grid: a battery/workload pair, the
+// discretisation step, and the evaluation time grid. Scenarios may vary
+// any of these — Δ refinements, state currents (via distinct
+// workloads), AvailableFraction, initial capacity, time grids.
+type Scenario struct {
+	// Name labels the scenario in results; purely descriptive.
+	Name string
+	// Battery and Workload define the model.
+	Battery  Battery
+	Workload *Workload
+	// DeltaAs is the discretisation step in ampere-seconds.
+	DeltaAs float64
+	// Times are the evaluation points in seconds, ascending.
+	Times []float64
+}
+
+// SweepResult is the outcome of one scenario, in input order.
+type SweepResult struct {
+	// Index and Name echo the scenario's position and label.
+	Index int
+	Name  string
+	// Distribution is the computed lifetime CDF; nil when Err is set.
+	Distribution *Distribution
+	// Err is the per-scenario failure, if any. Scenario errors do not
+	// abort the sweep; a cancelled context does, marking unprocessed
+	// scenarios with the context error.
+	Err error
+}
+
+// SweepOptions tunes a Sweep.
+type SweepOptions struct {
+	// Workers bounds how many scenarios are solved concurrently;
+	// values < 1 select runtime.NumCPU(). The SpMV parallelism inside
+	// each solve is scaled down so that scenario-level and matrix-level
+	// parallelism together stay near NumCPU.
+	Workers int
+	// Epsilon, MaxIterations and Context apply to every scenario, as in
+	// AnalysisOptions.
+	Epsilon       float64
+	MaxIterations int
+	Context       context.Context
+	// Progress, when non-nil, is invoked after each scenario completes
+	// with (done, total). Calls are serialised.
+	Progress func(done, total int)
+}
+
+// Sweep evaluates a grid of scenarios in parallel over a bounded worker
+// pool, reusing the solver's model cache across scenarios (a Δ-sweep
+// over one model expands each distinct grid once, and repeated cells
+// not at all). Results are returned in input order and are bit-identical
+// to solving each scenario sequentially. The returned error is non-nil
+// only for empty input or a cancelled context; per-scenario failures
+// land in SweepResult.Err.
+func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("%w: no scenarios", ErrBadArgument)
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	// One SpMV pool shared by all sweep workers: splitting the cores
+	// between scenario- and matrix-parallelism keeps the goroutine count
+	// near NumCPU instead of workers × NumCPU.
+	spmv := runtime.NumCPU() / workers
+	if spmv < 1 {
+		spmv = 1
+	}
+	pool := sparse.NewPool(spmv)
+	ctx := opts.Context
+
+	results := make([]SweepResult, len(scenarios))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				sc := scenarios[idx]
+				r := SweepResult{Index: idx, Name: sc.Name}
+				if ctx != nil && ctx.Err() != nil {
+					r.Err = ctx.Err()
+				} else {
+					r.Distribution, r.Err = s.lifetimeDistribution(sc.Battery, sc.Workload, sc.Times, AnalysisOptions{
+						Delta:         sc.DeltaAs,
+						Epsilon:       opts.Epsilon,
+						MaxIterations: opts.MaxIterations,
+						Context:       ctx,
+					}, pool)
+				}
+				results[idx] = r
+				mu.Lock()
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(scenarios))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return results, fmt.Errorf("batlife: sweep: %w", ctx.Err())
+	}
+	return results, nil
+}
