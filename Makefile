@@ -36,12 +36,16 @@ lint:
 
 ## bench: run every benchmark once (smoke); pass BENCHTIME for real runs.
 ## The Solver benchmarks (cached reuse, parallel sweep) additionally land
-## in BENCH_solver.json for machine comparison across commits.
+## in BENCH_solver.json, and the telemetry overhead benchmark
+## (instrumented vs uninstrumented solves) in BENCH_obs.json, for
+## machine comparison across commits.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./...
 	$(GO) test -bench='BenchmarkSolverCachedReuse|BenchmarkSweepParallel' \
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_solver.json
+	$(GO) test -bench='^BenchmarkObsOverhead$$' \
+		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_obs.json
 
 ## ci: everything the CI workflow gates on
 ci: lint build test race checks

@@ -108,10 +108,11 @@ func cmdLifetime(args []string) error {
 	return nil
 }
 
-func cmdCDF(args []string) error {
+func cmdCDF(args []string) (retErr error) {
 	fs := flag.NewFlagSet("cdf", flag.ExitOnError)
 	bf := addBatteryFlags(fs)
 	wf := addWorkloadFlags(fs)
+	of := addObsFlags(fs)
 	delta := fs.String("delta", "5mAh", "discretisation step (charge units)")
 	until := fs.String("until", "30h", "evaluation horizon")
 	points := fs.Int("points", 30, "number of evaluation points")
@@ -119,6 +120,16 @@ func cmdCDF(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	run, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := run.finish(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	reg := run.reg
 	p, err := bf.params()
 	if err != nil {
 		return err
@@ -135,12 +146,12 @@ func cmdCDF(args []string) error {
 	if err != nil {
 		return err
 	}
-	e, err := core.Build(model, d.AmpereSeconds(), core.Options{})
+	e, err := core.Build(model, d.AmpereSeconds(), core.Options{Obs: reg})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "expanded CTMC: %d states, %d transitions\n", e.NumStates(), e.NNZ())
-	res, err := e.LifetimeCDF(times)
+	res, err := e.LifetimeCDFOpts(times, core.SolveOptions{Obs: reg})
 	if err != nil {
 		return err
 	}

@@ -17,10 +17,11 @@ import (
 // one wide table (one column per scenario). This is how the paper's
 // Δ-refinement figures (e.g. Figure 8) are produced in one run instead
 // of one `batlife cdf` invocation per curve.
-func cmdSweep(args []string) error {
+func cmdSweep(args []string) (retErr error) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	bf := addBatteryFlags(fs)
 	wf := addWorkloadFlags(fs)
+	of := addObsFlags(fs)
 	deltas := fs.String("deltas", "10mAh,5mAh,2.5mAh", "comma-separated discretisation steps (charge units)")
 	capacities := fs.String("capacities", "", "comma-separated capacities to sweep (default: just -capacity)")
 	until := fs.String("until", "30h", "evaluation horizon")
@@ -29,6 +30,16 @@ func cmdSweep(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	run, err := of.setup()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := run.finish(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	reg := run.reg
 	p, err := bf.params()
 	if err != nil {
 		return err
@@ -77,7 +88,10 @@ func cmdSweep(args []string) error {
 		}
 	}
 
-	solver := batlife.NewSolver(batlife.SolverOptions{ModelCacheCapacity: len(scenarios)})
+	solver := batlife.NewSolver(batlife.SolverOptions{
+		ModelCacheCapacity: len(scenarios),
+		Telemetry:          reg,
+	})
 	results, err := solver.Sweep(scenarios, batlife.SweepOptions{
 		Workers: *workers,
 		Progress: func(done, total int) {
@@ -116,6 +130,11 @@ func cmdSweep(args []string) error {
 			}
 		}
 		fmt.Println(strings.Join(row, "\t"))
+	}
+	if reg != nil {
+		st := solver.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d models retained\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries)
 	}
 	return nil
 }

@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"batlife/internal/ctmc"
 	"batlife/internal/mrm"
+	"batlife/internal/obs"
 	"batlife/internal/sparse"
 )
 
@@ -61,6 +63,11 @@ type Options struct {
 	TransitionRate func(from, to int, y1, y2, base float64) float64
 	// OnIteration is forwarded to the uniformisation engine.
 	OnIteration func(done, total int)
+	// Obs, when non-nil, receives expansion telemetry (state/NNZ counts,
+	// build timing, a "core.build" span) and becomes the default
+	// registry for solves on the built model. It does not affect the
+	// result and is excluded from engine fingerprints.
+	Obs *obs.Registry
 }
 
 // SolveOptions tunes one transient solve on an already-built Expanded.
@@ -83,6 +90,9 @@ type SolveOptions struct {
 	Context context.Context
 	// OnIteration is forwarded to the uniformisation engine.
 	OnIteration func(done, total int)
+	// Obs is forwarded to the uniformisation engine; nil falls back to
+	// the build Options.
+	Obs *obs.Registry
 }
 
 // Expanded is the derived pure CTMC Q* for one model and step size. It
@@ -130,8 +140,29 @@ func Build(model mrm.KiBaMRM, delta float64, opts Options) (*Expanded, error) {
 		n2:    m2 + 1,
 		opts:  opts,
 	}
+	var (
+		span  *obs.Span
+		start time.Time
+	)
+	if reg := opts.Obs; reg != nil {
+		start = time.Now()
+		span = reg.Tracer().Start("core.build",
+			obs.Float("delta", delta),
+			obs.Int("n1", int64(e.n1)),
+			obs.Int("n2", int64(e.n2)))
+	}
 	if err := e.assemble(); err != nil {
+		span.End(obs.String("error", err.Error()))
 		return nil, err
+	}
+	if reg := opts.Obs; reg != nil {
+		reg.Counter("core_expansions_total").Inc()
+		reg.Histogram("core_expanded_states").Observe(float64(e.NumStates()))
+		reg.Histogram("core_expanded_nnz").Observe(float64(e.NNZ()))
+		reg.Histogram("core_build_seconds").ObserveDuration(time.Since(start).Seconds())
+		span.End(
+			obs.Int("states", int64(e.NumStates())),
+			obs.Int("nnz", int64(e.NNZ())))
 	}
 	return e, nil
 }
@@ -295,6 +326,10 @@ func (e *Expanded) transientOpts(so SolveOptions) ctmc.TransientOptions {
 	if onIter == nil {
 		onIter = e.opts.OnIteration
 	}
+	reg := so.Obs
+	if reg == nil {
+		reg = e.opts.Obs
+	}
 	return ctmc.TransientOptions{
 		Epsilon:       eps,
 		Workers:       workers,
@@ -302,6 +337,7 @@ func (e *Expanded) transientOpts(so SolveOptions) ctmc.TransientOptions {
 		MaxIterations: so.MaxIterations,
 		Context:       so.Context,
 		OnIteration:   onIter,
+		Obs:           reg,
 	}
 }
 
@@ -317,6 +353,11 @@ type Result struct {
 	Rate float64
 	// States and NNZ echo the expanded chain size.
 	States, NNZ int
+	// FoxGlynnLeft and FoxGlynnRight delimit the Poisson truncation
+	// window the solve committed to; SpMVs counts matrix-vector
+	// products. See ctmc.Result for the exact semantics.
+	FoxGlynnLeft, FoxGlynnRight int
+	SpMVs                       int
 }
 
 // LifetimeCDF computes Pr{battery empty at t} — the approximation of
@@ -352,12 +393,15 @@ func (e *Expanded) LifetimeCDFOpts(times []float64, so SolveOptions) (*Result, e
 		probs[k] = math.Min(1, math.Max(0, p))
 	}
 	return &Result{
-		Times:      res.Times,
-		EmptyProb:  probs,
-		Iterations: res.Iterations,
-		Rate:       res.Rate,
-		States:     e.NumStates(),
-		NNZ:        e.NNZ(),
+		Times:         res.Times,
+		EmptyProb:     probs,
+		Iterations:    res.Iterations,
+		Rate:          res.Rate,
+		States:        e.NumStates(),
+		NNZ:           e.NNZ(),
+		FoxGlynnLeft:  res.FoxGlynnLeft,
+		FoxGlynnRight: res.FoxGlynnRight,
+		SpMVs:         res.SpMVs,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"batlife/internal/check"
 	"batlife/internal/foxglynn"
+	"batlife/internal/obs"
 	"batlife/internal/sparse"
 )
 
@@ -55,6 +56,10 @@ type TransientOptions struct {
 	// step with the current and total iteration count. It is called on
 	// the calling goroutine.
 	OnIteration func(done, total int)
+	// Obs, when non-nil, receives solve telemetry: iteration and SpMV
+	// totals, Fox–Glynn window sizes, and a "ctmc.transient" span per
+	// solve. Nil disables all recording at no cost.
+	Obs *obs.Registry
 }
 
 func (o TransientOptions) epsilon() float64 {
@@ -91,6 +96,15 @@ type Result struct {
 	Iterations int
 	// Rate is the uniformisation constant q.
 	Rate float64
+	// FoxGlynnLeft and FoxGlynnRight delimit the union of the Poisson
+	// truncation windows over all requested time points — the iteration
+	// budget the solve committed to (steady-state detection may stop
+	// earlier). Both are 0 when the chain has no transitions.
+	FoxGlynnLeft, FoxGlynnRight int
+	// SpMVs counts the sparse matrix-vector products performed; it
+	// equals Iterations for a full solve and is kept separate so
+	// higher layers can aggregate operator work without re-deriving it.
+	SpMVs int
 }
 
 // Uniformized is a reusable uniformisation operator for one generator:
@@ -197,9 +211,38 @@ func TransientFunctional(gen *sparse.CSR, alpha, w, times []float64, opts Transi
 // full distribution π(t) at each time point when w is nil, or the
 // functional w·π(t) otherwise. The operator's cached Pᵀ and Fox–Glynn
 // tables are reused across calls; Epsilon, Workers/Pool, MaxIterations,
-// Context and the callbacks are per-call (UniformizationSlack is fixed
-// at construction and ignored here).
+// Context, Obs and the callbacks are per-call (UniformizationSlack is
+// fixed at construction and ignored here).
 func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions) (*Result, error) {
+	reg := opts.Obs
+	if reg == nil {
+		return u.transient(alpha, w, times, opts)
+	}
+	span := reg.Tracer().Start("ctmc.transient",
+		obs.Int("states", int64(u.gen.Rows())),
+		obs.Int("time_points", int64(len(times))))
+	res, err := u.transient(alpha, w, times, opts)
+	if err != nil {
+		reg.Counter("ctmc_solve_errors_total").Inc()
+		span.End(obs.String("error", err.Error()))
+		return nil, err
+	}
+	reg.Counter("ctmc_solves_total").Inc()
+	reg.Counter("ctmc_uniformization_iterations_total").Add(int64(res.Iterations))
+	reg.Counter("ctmc_spmv_total").Add(int64(res.SpMVs))
+	if res.FoxGlynnRight > 0 {
+		reg.Histogram("ctmc_foxglynn_window").Observe(float64(res.FoxGlynnRight - res.FoxGlynnLeft + 1))
+	}
+	span.End(
+		obs.Int("iterations", int64(res.Iterations)),
+		obs.Int("foxglynn_left", int64(res.FoxGlynnLeft)),
+		obs.Int("foxglynn_right", int64(res.FoxGlynnRight)),
+		obs.Float("rate", res.Rate))
+	return res, nil
+}
+
+// transient is the uninstrumented solve behind Transient.
+func (u *Uniformized) transient(alpha, w, times []float64, opts TransientOptions) (*Result, error) {
 	n := u.gen.Rows()
 	if len(alpha) != n {
 		return nil, fmt.Errorf("%w: |alpha|=%d for %d states", ErrBadInput, len(alpha), n)
@@ -243,6 +286,7 @@ func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions
 	// Poisson windows per time point, and the global iteration bound.
 	weights := make([]*foxglynn.Weights, len(times))
 	maxRight := 0
+	minLeft := math.MaxInt
 	for k, t := range times {
 		fw, err := u.weightsFor(t, opts.epsilon())
 		if err != nil {
@@ -252,7 +296,11 @@ func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions
 		if fw.Right > maxRight {
 			maxRight = fw.Right
 		}
+		if fw.Left < minLeft {
+			minLeft = fw.Left
+		}
 	}
+	res.FoxGlynnLeft, res.FoxGlynnRight = minLeft, maxRight
 	if opts.MaxIterations > 0 && maxRight > opts.MaxIterations {
 		return nil, fmt.Errorf("%w: solve needs %d uniformisation steps, limit is %d",
 			ErrIterationBudget, maxRight, opts.MaxIterations)
@@ -312,8 +360,16 @@ func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions
 	ssdTol := opts.epsilon()
 	checkEvery := 16
 
-	v := append([]float64(nil), alpha...)
-	next := make([]float64, n)
+	// Iteration scratch: both vectors come from (and return to) the
+	// pool's free list, so repeated solves on large chains stop paying
+	// two O(states) allocations each.
+	v := pool.GetVec(n)
+	copy(v, alpha)
+	next := pool.GetVec(n)
+	defer func() {
+		pool.PutVec(v)
+		pool.PutVec(next)
+	}()
 	for it := 0; it <= maxRight; it++ {
 		if ctx := opts.Context; ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -338,12 +394,14 @@ func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions
 				// Fold the remaining window mass (> it) in one shot.
 				v, next = next, v
 				res.Iterations++
+				res.SpMVs++
 				foldIn(it+1, v, true)
 				return validatedResult(res), nil
 			}
 		}
 		v, next = next, v
 		res.Iterations++
+		res.SpMVs++
 		if opts.OnIteration != nil {
 			opts.OnIteration(res.Iterations, maxRight)
 		}

@@ -15,6 +15,7 @@ type Cache[K comparable, V any] struct {
 	capacity int
 	order    *list.List // front = most recently used; values are *pair[K, V]
 	items    map[K]*list.Element
+	onEvict  func(K, V)
 }
 
 type pair[K comparable, V any] struct {
@@ -61,8 +62,22 @@ func (c *Cache[K, V]) Put(key K, val V) {
 	if c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*pair[K, V]).key)
+		p := oldest.Value.(*pair[K, V])
+		delete(c.items, p.key)
+		if c.onEvict != nil {
+			c.onEvict(p.key, p.val)
+		}
 	}
+}
+
+// SetOnEvict registers a callback invoked for every evicted entry. The
+// callback runs with the cache lock held and must not call back into the
+// cache; it exists to feed eviction counters. Set it before the cache is
+// shared across goroutines.
+func (c *Cache[K, V]) SetOnEvict(fn func(K, V)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // Len reports the number of cached entries.

@@ -19,9 +19,12 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
+	"sync"
+	"time"
 
 	"batlife/internal/core"
 	"batlife/internal/mrm"
+	"batlife/internal/obs"
 	"batlife/internal/sparse"
 )
 
@@ -34,15 +37,36 @@ type Options struct {
 	// Workers sets the parallelism of the shared SpMV pool; values < 1
 	// select runtime.NumCPU().
 	Workers int
+	// Obs, when non-nil, is the observability registry the engine (and
+	// the pool and builds it owns) records into: cache hit/miss/eviction
+	// counters, build timing, "engine.build" spans. The engine's Stats
+	// counters work with or without a registry.
+	Obs *obs.Registry
 }
 
-// Engine caches expanded CTMCs across queries. It is safe for
-// concurrent use; concurrent misses on the same key may build the model
-// twice, with the last build winning the cache slot (both results are
-// correct, so no singleflight is needed).
+// Engine caches expanded CTMCs across queries. It is safe for concurrent
+// use. Concurrent misses on the same key are single-flighted: exactly
+// one goroutine builds the model while the others wait and share the
+// result, so the cache statistics record one build (a miss) and n−1
+// waiter-hits — and an expensive expansion is never duplicated.
 type Engine struct {
 	pool   *sparse.Pool
 	models *Cache[Key, *core.Expanded]
+	obs    *obs.Registry
+
+	mu       sync.Mutex
+	inflight map[Key]*inflightBuild
+
+	hits, misses, evictions *obs.Counter
+	buildSeconds            *obs.Histogram
+}
+
+// inflightBuild is one in-progress model expansion that concurrent
+// requesters of the same key wait on.
+type inflightBuild struct {
+	done chan struct{}
+	x    *core.Expanded
+	err  error
 }
 
 // New returns an Engine with the given cache bound and worker pool.
@@ -51,10 +75,26 @@ func New(o Options) *Engine {
 	if capacity < 1 {
 		capacity = 8
 	}
-	return &Engine{
-		pool:   sparse.NewPool(o.Workers),
-		models: NewCache[Key, *core.Expanded](capacity),
+	e := &Engine{
+		pool:     sparse.NewPoolObs(o.Workers, o.Obs),
+		models:   NewCache[Key, *core.Expanded](capacity),
+		obs:      o.Obs,
+		inflight: make(map[Key]*inflightBuild),
 	}
+	if o.Obs != nil {
+		e.hits = o.Obs.Counter("engine_cache_hits_total")
+		e.misses = o.Obs.Counter("engine_cache_misses_total")
+		e.evictions = o.Obs.Counter("engine_cache_evictions_total")
+		e.buildSeconds = o.Obs.Histogram("engine_build_seconds")
+	} else {
+		// Stats must work without a registry; standalone counters cost
+		// one atomic word each.
+		e.hits = obs.NewCounter()
+		e.misses = obs.NewCounter()
+		e.evictions = obs.NewCounter()
+	}
+	e.models.SetOnEvict(func(Key, *core.Expanded) { e.evictions.Inc() })
+	return e
 }
 
 // Pool returns the engine's shared SpMV worker pool.
@@ -62,6 +102,32 @@ func (e *Engine) Pool() *sparse.Pool { return e.pool }
 
 // CachedModels reports how many expanded models are currently retained.
 func (e *Engine) CachedModels() int { return e.models.Len() }
+
+// Stats is a point-in-time view of the engine's cache behaviour.
+type Stats struct {
+	// Hits counts queries answered from the cache, including waiter-hits
+	// — requests that arrived while another goroutine was building the
+	// same model and shared its result.
+	Hits int64
+	// Misses counts queries that performed a build (successful or not).
+	// Under concurrent misses on one key exactly one build happens, so
+	// n concurrent first requests record 1 miss and n−1 hits.
+	Misses int64
+	// Evictions counts models dropped by the LRU bound.
+	Evictions int64
+	// Entries is the current number of cached models.
+	Entries int
+}
+
+// Stats reports the engine's cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:      e.hits.Value(),
+		Misses:    e.misses.Value(),
+		Evictions: e.evictions.Value(),
+		Entries:   e.models.Len(),
+	}
+}
 
 // Key identifies one expanded model in the cache: a SHA-256 digest of
 // the model's full content (battery constants, workload generator,
@@ -133,22 +199,69 @@ func Fingerprint(m mrm.KiBaMRM, delta float64, build core.Options) (Key, bool) {
 
 // Expanded returns the expanded CTMC for (model, delta, build), reusing
 // a cached instance when the fingerprint matches and building (and
-// caching) it otherwise. Cached models are shared across callers and
-// must be treated as immutable — which core.Expanded guarantees for its
-// public API.
-func (e *Engine) Expanded(m mrm.KiBaMRM, delta float64, build core.Options) (*core.Expanded, error) {
+// caching) it otherwise. The second result reports whether the model
+// came from the cache (including waiting on another goroutine's
+// in-flight build). Cached models are shared across callers and must be
+// treated as immutable — which core.Expanded guarantees for its public
+// API.
+func (e *Engine) Expanded(m mrm.KiBaMRM, delta float64, build core.Options) (*core.Expanded, bool, error) {
 	key, cacheable := Fingerprint(m, delta, build)
-	if cacheable {
-		if x, ok := e.models.Get(key); ok {
-			return x, nil
-		}
+	if !cacheable {
+		e.misses.Inc()
+		x, err := e.build(m, delta, build)
+		return x, false, err
 	}
+	e.mu.Lock()
+	if x, ok := e.models.Get(key); ok {
+		e.mu.Unlock()
+		e.hits.Inc()
+		return x, true, nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		// Another goroutine is building this model; wait and share.
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		e.hits.Inc()
+		return c.x, true, nil
+	}
+	c := &inflightBuild{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	e.misses.Inc()
+	c.x, c.err = e.build(m, delta, build)
+	e.mu.Lock()
+	if c.err == nil {
+		e.models.Put(key, c.x)
+	}
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+	return c.x, false, c.err
+}
+
+// build runs one model expansion, recording timing and a span when the
+// engine has a registry. The engine's registry is injected into the
+// build options (unless the caller set one) so core's expansion
+// telemetry flows into the same place.
+func (e *Engine) build(m mrm.KiBaMRM, delta float64, build core.Options) (*core.Expanded, error) {
+	if build.Obs == nil {
+		build.Obs = e.obs
+	}
+	if e.obs == nil {
+		return core.Build(m, delta, build)
+	}
+	span := e.obs.Tracer().Start("engine.build", obs.Float("delta", delta))
+	start := time.Now()
 	x, err := core.Build(m, delta, build)
 	if err != nil {
+		span.End(obs.String("error", err.Error()))
 		return nil, err
 	}
-	if cacheable {
-		e.models.Put(key, x)
-	}
+	e.buildSeconds.ObserveDuration(time.Since(start).Seconds())
+	span.End(obs.Int("states", int64(x.NumStates())), obs.Int("nnz", int64(x.NNZ())))
 	return x, nil
 }

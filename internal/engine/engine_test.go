@@ -2,11 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"batlife/internal/core"
 	"batlife/internal/kibam"
 	"batlife/internal/mrm"
+	"batlife/internal/obs"
 	"batlife/internal/units"
 	"batlife/internal/workload"
 )
@@ -137,13 +139,19 @@ func TestFingerprintHooksNotCacheable(t *testing.T) {
 func TestEngineReusesExpanded(t *testing.T) {
 	e := New(Options{Capacity: 4, Workers: 1})
 	m := onOffModel(t, paperBattery)
-	a, err := e.Expanded(m, 100, core.Options{})
+	a, hit, err := e.Expanded(m, 100, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.Expanded(onOffModel(t, paperBattery), 100, core.Options{})
+	if hit {
+		t.Error("first query reported a cache hit")
+	}
+	b, hit, err := e.Expanded(onOffModel(t, paperBattery), 100, core.Options{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("identical query reported a miss")
 	}
 	if a != b {
 		t.Error("identical queries expanded the model twice")
@@ -151,9 +159,12 @@ func TestEngineReusesExpanded(t *testing.T) {
 	if e.CachedModels() != 1 {
 		t.Errorf("CachedModels = %d, want 1", e.CachedModels())
 	}
-	c, err := e.Expanded(m, 50, core.Options{})
+	c, hit, err := e.Expanded(m, 50, core.Options{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if hit {
+		t.Error("different delta reported a cache hit")
 	}
 	if c == a {
 		t.Error("different delta reused the cached model")
@@ -161,19 +172,23 @@ func TestEngineReusesExpanded(t *testing.T) {
 	if e.CachedModels() != 2 {
 		t.Errorf("CachedModels = %d, want 2", e.CachedModels())
 	}
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("Stats = %+v, want Hits 1, Misses 2, Entries 2", st)
+	}
 }
 
 func TestEngineEviction(t *testing.T) {
 	e := New(Options{Capacity: 1, Workers: 1})
 	m := onOffModel(t, paperBattery)
-	a, err := e.Expanded(m, 100, core.Options{})
+	a, _, err := e.Expanded(m, 100, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Expanded(m, 50, core.Options{}); err != nil {
+	if _, _, err := e.Expanded(m, 50, core.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.Expanded(m, 100, core.Options{})
+	b, _, err := e.Expanded(m, 100, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,12 +198,15 @@ func TestEngineEviction(t *testing.T) {
 	if e.CachedModels() != 1 {
 		t.Errorf("CachedModels = %d, want 1", e.CachedModels())
 	}
+	if st := e.Stats(); st.Evictions != 2 {
+		t.Errorf("Stats.Evictions = %d, want 2", st.Evictions)
+	}
 }
 
 func TestEngineBuildErrorNotCached(t *testing.T) {
 	e := New(Options{Capacity: 4, Workers: 1})
 	m := onOffModel(t, paperBattery)
-	if _, err := e.Expanded(m, 7, core.Options{}); err == nil {
+	if _, _, err := e.Expanded(m, 7, core.Options{}); err == nil {
 		t.Fatal("non-divisor delta accepted")
 	}
 	if e.CachedModels() != 0 {
@@ -218,7 +236,7 @@ func TestEngineConcurrentAccess(t *testing.T) {
 	for g := 0; g < 8; g++ {
 		delta := []float64{100, 50}[g%2]
 		go func() {
-			x, err := e.Expanded(m, delta, core.Options{})
+			x, _, err := e.Expanded(m, delta, core.Options{})
 			if err != nil {
 				errc <- err
 				return
@@ -242,5 +260,65 @@ func TestEngineConcurrentAccess(t *testing.T) {
 		if err := <-errc; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+func TestEngineSingleflight(t *testing.T) {
+	// n concurrent first requests for one key must record exactly one
+	// build (a miss) and n−1 waiter-hits, all sharing one *Expanded.
+	reg := obs.NewRegistry()
+	e := New(Options{Capacity: 4, Workers: 1, Obs: reg})
+	m := onOffModel(t, paperBattery)
+	const n = 16
+	var (
+		start sync.WaitGroup
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		got   = make(map[*core.Expanded]int)
+		hits  int
+	)
+	start.Add(1)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			x, hit, err := e.Expanded(m, 100, core.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			got[x]++
+			if hit {
+				hits++
+			}
+			mu.Unlock()
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	if len(got) != 1 {
+		t.Fatalf("concurrent requests produced %d distinct models, want 1", len(got))
+	}
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Stats.Misses = %d, want exactly 1 build", st.Misses)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("Stats.Hits = %d, want %d waiter-hits", st.Hits, n-1)
+	}
+	if hits != n-1 {
+		t.Errorf("%d calls reported hit=true, want %d", hits, n-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Stats.Entries = %d, want 1", st.Entries)
+	}
+	// The registry counters must agree with Stats.
+	if v := reg.Counter("engine_cache_misses_total").Value(); v != 1 {
+		t.Errorf("engine_cache_misses_total = %d, want 1", v)
+	}
+	if v := reg.Counter("engine_cache_hits_total").Value(); v != n-1 {
+		t.Errorf("engine_cache_hits_total = %d, want %d", v, n-1)
 	}
 }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// discardHandler is a slog.Handler that drops everything. (slog gained a
+// built-in DiscardHandler only in Go 1.24; this keeps the module at its
+// declared go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// nopLogger is shared by every disabled path so Logger never allocates.
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards every record at every level.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// NewLogger returns a JSON structured logger writing to w at the given
+// level — the logger the CLI threads through the solver when -log is
+// set.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// SetLogger attaches a structured logger to the registry. No-op on a nil
+// Registry.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	if r == nil {
+		return
+	}
+	r.loggerPtr.Store(l)
+}
+
+// Logger returns the registry's logger, or a shared no-op logger when
+// the registry is nil or has none attached — callers can log
+// unconditionally.
+func (r *Registry) Logger() *slog.Logger {
+	if r == nil {
+		return nopLogger
+	}
+	if l := r.loggerPtr.Load(); l != nil {
+		return l
+	}
+	return nopLogger
+}

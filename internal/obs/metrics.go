@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil Counter is a no-op (the disabled fast path).
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter returns a standalone counter, for callers that need counts
+// even without a Registry (e.g. engine cache statistics).
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by n. No-op on a nil Counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil Counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil Counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 gauge. The zero value is ready to use; a
+// nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v. No-op on a nil Gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge. No-op on a nil Gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; zero on a nil Gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: log-linear with histSub sub-buckets per power
+// of two, covering [2^histMinExp, 2^histMaxExp). Values outside the
+// range land in saturated edge buckets. With histSub = 4 the bucket
+// boundaries grow by 2^(1/4) ≈ 1.19, so a reported quantile is within
+// ~19% (relative) of the exact order statistic — tight enough to size
+// iteration counts, window widths and durations, at 8 bytes per bucket.
+const (
+	histSub    = 4
+	histMinExp = -30 // ≈ 1e-9: nanosecond-scale durations in seconds
+	histMaxExp = 40  // ≈ 1e12: state counts, iteration totals
+	numBuckets = (histMaxExp - histMinExp) * histSub
+)
+
+// Histogram is a lock-free histogram of non-negative float64 samples
+// with atomic bucket counts. The zero value is ready to use; a nil
+// Histogram is a no-op. Negative and NaN samples are counted but
+// attributed to the lowest bucket (they never occur in the quantities
+// the solver records; the clamp keeps the type total-function).
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits; MaxFloat64 when empty
+	maxBits atomic.Uint64 // float64 bits; -MaxFloat64 when empty
+	buckets [numBuckets + 2]atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.MaxFloat64))
+	h.maxBits.Store(math.Float64bits(-math.MaxFloat64))
+	return h
+}
+
+// bucketIndex maps a sample to its bucket: 0 is the underflow bucket,
+// numBuckets+1 the overflow bucket, and 1..numBuckets the log-linear
+// interior.
+func bucketIndex(v float64) int {
+	if !(v > 0) || math.IsNaN(v) {
+		return 0
+	}
+	idx := int(math.Floor(histSub*math.Log2(v))) - histMinExp*histSub
+	switch {
+	case idx < 0:
+		return 0
+	case idx >= numBuckets:
+		return numBuckets + 1
+	}
+	return idx + 1
+}
+
+// bucketValue returns the representative value of bucket i — the
+// geometric midpoint of its bounds — used when reporting quantiles.
+func bucketValue(i int) float64 {
+	switch {
+	case i <= 0:
+		return math.Exp2(float64(histMinExp))
+	case i > numBuckets:
+		return math.Exp2(float64(histMaxExp))
+	}
+	return math.Exp2((float64(i-1)+0.5)/histSub + float64(histMinExp))
+}
+
+// Observe records one sample. No-op on a nil Histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveDuration records a duration given in seconds; it is Observe
+// with a name that documents the unit convention used across the stack.
+func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to read
+// without synchronisation.
+type HistogramSnapshot struct {
+	// Count and Sum aggregate every observed sample.
+	Count int64
+	Sum   float64
+	// Min and Max are the exact extreme samples (0 when empty).
+	Min, Max float64
+	buckets  [numBuckets + 2]int64
+}
+
+// Snapshot copies the histogram's current state. On a nil Histogram it
+// returns an empty snapshot. Concurrent Observes may tear between count
+// and buckets by at most the in-flight samples; quantiles remain valid
+// bounds.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the observed samples, or 0 when
+// empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]) by
+// walking the cumulative bucket counts; the result is the representative
+// value of the bucket containing the rank, clamped to the exact [Min,
+// Max] envelope, so its relative error is bounded by the bucket growth
+// factor 2^(1/4) ≈ 19%.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, n := range s.buckets {
+		cum += n
+		if cum >= rank {
+			v := bucketValue(i)
+			return math.Min(s.Max, math.Max(s.Min, v))
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the HTTP handler behind Serve: expvar-style metrics
+// JSON at /metrics and /debug/vars, and the net/http/pprof suite under
+// /debug/pprof/. Exposed separately so tests can drive it through
+// httptest without opening a socket.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	metrics := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/debug/vars", metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics/pprof HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving Handler(reg) on addr (":0" picks a free port)
+// and returns immediately; the listener runs until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path;
+		// nothing useful to do with other errors once main has moved on.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address, e.g. "127.0.0.1:43671" after ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func formatInt(v int64) string     { return strconv.FormatInt(v, 10) }
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Attr is one key/value span attribute. Values are strings so that span
+// JSON round-trips exactly; use the Int/Float helpers for numbers.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr {
+	return Attr{Key: key, Value: formatInt(value)}
+}
+
+// Float builds a float attribute (shortest round-trippable form).
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, Value: formatFloat(value)}
+}
+
+// SpanRecord is one completed span, the unit of the trace JSON export.
+type SpanRecord struct {
+	// ID is unique within the tracer; Parent is 0 for root spans.
+	ID     int64 `json:"id"`
+	Parent int64 `json:"parent,omitempty"`
+	// Name identifies the traced stage, e.g. "core.build",
+	// "ctmc.transient", "sweep.scenario".
+	Name string `json:"name"`
+	// StartUnixNs is the wall-clock start in Unix nanoseconds;
+	// DurationNs the span length in nanoseconds.
+	StartUnixNs int64 `json:"start_unix_ns"`
+	DurationNs  int64 `json:"duration_ns"`
+	// Attrs carries the key/value attributes recorded at begin and end.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer collects spans. It is safe for concurrent use and bounded: at
+// most maxSpans completed spans are retained, later ones are counted as
+// dropped, so a long sweep cannot grow memory without bound. A nil
+// Tracer is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []SpanRecord
+	nextID  atomic.Int64
+	dropped atomic.Int64
+	max     int
+	now     func() time.Time
+}
+
+// DefaultMaxSpans bounds how many completed spans a Tracer retains.
+const DefaultMaxSpans = 16384
+
+// NewTracer returns a Tracer retaining up to DefaultMaxSpans spans.
+func NewTracer() *Tracer {
+	return &Tracer{max: DefaultMaxSpans, now: time.Now}
+}
+
+// SetMaxSpans adjusts the retention bound (values < 1 select 1).
+func (t *Tracer) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.max = n
+	t.mu.Unlock()
+}
+
+// SetClock replaces the tracer's time source — for tests that need
+// deterministic timestamps and durations.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Tracer) clock() time.Time {
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now()
+}
+
+// Span is an in-flight span; End completes it. A nil Span (from a nil
+// Tracer) ignores every method.
+type Span struct {
+	tracer *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// Start begins a root span. On a nil Tracer it returns nil, making the
+// whole Start/SetAttr/End chain free when tracing is disabled.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	return t.startSpan(0, name, attrs)
+}
+
+func (t *Tracer) startSpan(parent int64, name string, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  t.clock(),
+		attrs:  attrs,
+	}
+}
+
+// Child begins a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.startSpan(s.id, name, attrs)
+}
+
+// SetAttr records an additional attribute on the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span, appending any final attributes, and records it
+// with the tracer.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	end := s.tracer.clock()
+	rec := SpanRecord{
+		ID:          s.id,
+		Parent:      s.parent,
+		Name:        s.name,
+		StartUnixNs: s.start.UnixNano(),
+		DurationNs:  end.Sub(s.start).Nanoseconds(),
+	}
+	if n := len(s.attrs) + len(attrs); n > 0 {
+		rec.Attrs = make(map[string]string, n)
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if len(t.spans) < t.max {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans in completion order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans were discarded over the retention
+// bound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// WriteJSON writes the completed spans as one JSON array. A nil Tracer
+// writes an empty array, so --trace-out always produces valid JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}
+
+// ReadSpans parses a span JSON array written by WriteJSON — the other
+// half of the round-trip, used by trace-reading tools and tests.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var spans []SpanRecord
+	if err := json.NewDecoder(r).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"batlife/internal/check"
+	"batlife/internal/obs"
 )
 
 // ErrShape reports a dimension mismatch between a matrix and a vector or
@@ -303,25 +304,91 @@ func (m *CSR) Dense() [][]float64 {
 	return d
 }
 
+// PoolMetrics bundles the observability handles a Pool records into.
+// The counters are resolved once at pool construction (metric lookup is
+// a lock + map read, too slow for the SpMV path) and are nil-safe, so a
+// metrics-free pool costs exactly two nil checks per product.
+type PoolMetrics struct {
+	// SpMV counts every matrix-vector product; SpMVParallel the subset
+	// dispatched across worker goroutines (large matrices only).
+	SpMV, SpMVParallel *obs.Counter
+	// VecGets, VecPuts and VecAllocs describe the scratch-vector pool:
+	// gets and puts are deterministic per solve; allocs additionally
+	// counts gets that found no reusable buffer (sync.Pool eviction makes
+	// this one nondeterministic).
+	VecGets, VecPuts, VecAllocs *obs.Counter
+}
+
+// PoolMetricsFrom resolves the pool metric handles from a registry; a
+// nil registry yields all-nil handles (every record is a no-op).
+func PoolMetricsFrom(reg *obs.Registry) PoolMetrics {
+	if reg == nil {
+		return PoolMetrics{}
+	}
+	return PoolMetrics{
+		SpMV:         reg.Counter("sparse_pool_spmv_total"),
+		SpMVParallel: reg.Counter("sparse_pool_spmv_parallel_total"),
+		VecGets:      reg.Counter("sparse_pool_vec_gets_total"),
+		VecPuts:      reg.Counter("sparse_pool_vec_puts_total"),
+		VecAllocs:    reg.Counter("sparse_pool_vec_allocs_total"),
+	}
+}
+
 // Pool executes parallel matrix-vector products over a fixed set of
-// worker goroutines. A zero-value Pool is not valid; use NewPool. The
-// pool owns no goroutines between calls — workers are spawned per
-// product and joined before returning, so a Pool never leaks.
+// worker goroutines and recycles iteration-scratch vectors. A zero-value
+// Pool is not valid; use NewPool. The pool owns no goroutines between
+// calls — workers are spawned per product and joined before returning,
+// so a Pool never leaks.
 type Pool struct {
 	workers int
+	m       PoolMetrics
+	vecs    sync.Pool // of *[]float64
 }
 
 // NewPool returns a Pool with the given parallelism; workers <= 0 selects
 // runtime.NumCPU().
 func NewPool(workers int) *Pool {
+	return NewPoolObs(workers, nil)
+}
+
+// NewPoolObs is NewPool with an observability registry; the pool's SpMV
+// and scratch-vector traffic is recorded there. A nil registry disables
+// recording at no cost.
+func NewPoolObs(workers int, reg *obs.Registry) *Pool {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, m: PoolMetricsFrom(reg)}
 }
 
 // Workers reports the pool's parallelism.
 func (p *Pool) Workers() int { return p.workers }
+
+// GetVec returns a length-n scratch vector, zeroed, reusing a previously
+// Put buffer when one of sufficient capacity is available. Callers
+// return it with PutVec when done; vectors that escape (results) must be
+// allocated normally instead.
+func (p *Pool) GetVec(n int) []float64 {
+	p.m.VecGets.Add(1)
+	if v, ok := p.vecs.Get().(*[]float64); ok && cap(*v) >= n {
+		s := (*v)[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	p.m.VecAllocs.Add(1)
+	return make([]float64, n)
+}
+
+// PutVec returns a scratch vector obtained from GetVec to the pool.
+func (p *Pool) PutVec(v []float64) {
+	if v == nil {
+		return
+	}
+	p.m.VecPuts.Add(1)
+	p.vecs.Put(&v)
+}
 
 // MulVec computes dst = m·x with rows partitioned across the pool's
 // workers. dst and x must not alias.
@@ -330,10 +397,12 @@ func (p *Pool) MulVec(m *CSR, dst, x []float64) error {
 		return fmt.Errorf("sparse: parallel MulVec %dx%d with |x|=%d |dst|=%d: %w",
 			m.rows, m.cols, len(x), len(dst), ErrShape)
 	}
+	p.m.SpMV.Add(1)
 	workers := p.workers
 	if m.rows < 4096 || workers == 1 {
 		return m.MulVec(dst, x)
 	}
+	p.m.SpMVParallel.Add(1)
 	var wg sync.WaitGroup
 	chunk := (m.rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {

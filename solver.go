@@ -9,11 +9,13 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"batlife/internal/core"
 	"batlife/internal/ctmc"
 	"batlife/internal/engine"
 	"batlife/internal/mrm"
+	"batlife/internal/obs"
 	"batlife/internal/performability"
 	"batlife/internal/sparse"
 )
@@ -21,6 +23,45 @@ import (
 // ErrIterationLimit reports that an analysis was refused because its
 // transient solve would exceed AnalysisOptions.MaxIterations.
 var ErrIterationLimit = errors.New("batlife: iteration limit exceeded")
+
+// Telemetry is the observability registry of the solver stack: named
+// counters, gauges and histograms, a span tracer, and an optional
+// structured logger. Attach one via SolverOptions.Telemetry to record
+// cache behaviour, uniformisation iteration counts, Fox–Glynn windows
+// and per-stage spans; see docs/OBSERVABILITY.md for the metric and span
+// catalogue. A nil *Telemetry disables all recording at (near) zero
+// cost.
+type Telemetry = obs.Registry
+
+// NewTelemetry returns an enabled Telemetry registry.
+func NewTelemetry() *Telemetry { return obs.NewRegistry() }
+
+// SolveReport is per-solve telemetry, filled in place when
+// AnalysisOptions.Report points at one and the analysis succeeds. Unlike
+// Progress, requesting a report does not bypass the solver's result
+// memo: a memoised answer replays the statistics of the solve that
+// produced it, with ResultMemoHit set.
+type SolveReport struct {
+	// States and Transitions describe the expanded CTMC.
+	States, Transitions int
+	// Iterations counts uniformisation steps; SpMVs sparse
+	// matrix-vector products (equal for a full solve).
+	Iterations, SpMVs int
+	// FoxGlynnLeft and FoxGlynnRight delimit the Poisson truncation
+	// window the transient solve committed to — with Iterations, the
+	// cost drivers of uniformisation on large chains.
+	FoxGlynnLeft, FoxGlynnRight int
+	// UniformizationRate is the uniformisation constant q.
+	UniformizationRate float64
+	// ModelCacheHit reports whether the expanded CTMC came from the
+	// engine cache (including waiting on a concurrent build);
+	// ResultMemoHit whether the whole answer came from the result memo.
+	ModelCacheHit, ResultMemoHit bool
+	// BuildDuration is the time spent obtaining the expanded model
+	// (≈0 on a cache hit); SolveDuration the time in the analysis
+	// proper (≈0 on a memo hit).
+	BuildDuration, SolveDuration time.Duration
+}
 
 // AnalysisOptions tunes one Solver analysis. The zero value selects the
 // engine defaults everywhere except Delta, which the approximate
@@ -46,6 +87,9 @@ type AnalysisOptions struct {
 	// memo for the call — a memoised answer performs no iterations, so
 	// replaying progress would be a lie.
 	Progress func(done, total int)
+	// Report, when non-nil, is filled with per-solve telemetry on
+	// success. It does not bypass the result memo (see SolveReport).
+	Report *SolveReport
 }
 
 // SolverOptions configures a Solver.
@@ -61,6 +105,12 @@ type SolverOptions struct {
 	// Workers sets the SpMV parallelism of the solver's shared worker
 	// pool; values < 1 select runtime.NumCPU().
 	Workers int
+	// Telemetry, when non-nil, records solver metrics and spans: engine
+	// cache hits/misses, uniformisation iterations, Fox–Glynn windows,
+	// SpMV pool traffic, per-scenario sweep spans. Nil (the default)
+	// disables recording; the remaining cost is a handful of nil checks
+	// and no allocations on the hot path.
+	Telemetry *Telemetry
 }
 
 // Solver is a reusable analysis engine: it caches expanded CTMCs —
@@ -76,6 +126,11 @@ type SolverOptions struct {
 type Solver struct {
 	eng     *engine.Engine
 	results *engine.Cache[resultKey, any]
+	obs     *obs.Registry
+
+	// Pre-resolved counters (nil without telemetry; Add is then a no-op)
+	// so the memo fast path pays atomic increments, not name lookups.
+	solves, memoHits *obs.Counter
 }
 
 // NewSolver returns a Solver with the given cache bounds and worker
@@ -85,14 +140,26 @@ func NewSolver(opts SolverOptions) *Solver {
 	if rc < 1 {
 		rc = 64
 	}
-	return &Solver{
+	s := &Solver{
 		eng: engine.New(engine.Options{
 			Capacity: opts.ModelCacheCapacity,
 			Workers:  opts.Workers,
+			Obs:      opts.Telemetry,
 		}),
 		results: engine.NewCache[resultKey, any](rc),
+		obs:     opts.Telemetry,
 	}
+	if s.obs != nil {
+		s.solves = s.obs.Counter("solver_solves_total")
+		s.memoHits = s.obs.Counter("solver_result_memo_hits_total")
+	}
+	return s
 }
+
+// Stats reports the solver's model-cache counters: hits (including
+// waiter-hits on concurrent builds), misses (= builds), LRU evictions
+// and current entries. Available with or without Telemetry.
+func (s *Solver) Stats() engine.Stats { return s.eng.Stats() }
 
 var defaultSolver = sync.OnceValue(func() *Solver {
 	// The deprecated free functions previously built and discarded one
@@ -195,33 +262,66 @@ func wrapErr(err error) error {
 }
 
 // solveOptions translates facade options into core solve options.
-func solveOptions(opts AnalysisOptions, pool *sparse.Pool) core.SolveOptions {
+func (s *Solver) solveOptions(opts AnalysisOptions, pool *sparse.Pool) core.SolveOptions {
 	return core.SolveOptions{
 		Epsilon:       opts.Epsilon,
 		Pool:          pool,
 		MaxIterations: opts.MaxIterations,
 		Context:       opts.Context,
 		OnIteration:   opts.Progress,
+		Obs:           s.obs,
 	}
 }
 
+// memoEntry pairs a memoised analysis result with the SolveReport of
+// the solve that produced it, so a memo hit can replay the statistics.
+type memoEntry struct {
+	val any
+	rep SolveReport
+}
+
+// replayReport fills opts.Report on a memo hit: the original solve's
+// model statistics with ResultMemoHit set, the current call's cache
+// outcome, and a zero SolveDuration (no iterations ran).
+func replayReport(opts AnalysisOptions, entry memoEntry, hit bool, buildDur time.Duration) {
+	if opts.Report == nil {
+		return
+	}
+	rep := entry.rep
+	rep.ResultMemoHit = true
+	rep.ModelCacheHit = hit
+	rep.BuildDuration = buildDur
+	rep.SolveDuration = 0
+	*opts.Report = rep
+}
+
 // expanded validates the (battery, workload, delta) triple and returns
-// the — possibly cached — expanded CTMC plus its cache key.
-func (s *Solver) expanded(b Battery, w *Workload, opts AnalysisOptions) (*core.Expanded, engine.Key, error) {
+// the — possibly cached — expanded CTMC plus its cache key, whether the
+// model came from the cache, and the time spent obtaining it (measured
+// only when opts.Report is set; the warm path stays clock-free).
+func (s *Solver) expanded(b Battery, w *Workload, opts AnalysisOptions) (*core.Expanded, engine.Key, bool, time.Duration, error) {
 	if w == nil {
-		return nil, engine.Key{}, fmt.Errorf("%w: nil workload", ErrBadArgument)
+		return nil, engine.Key{}, false, 0, fmt.Errorf("%w: nil workload", ErrBadArgument)
 	}
 	if opts.Delta <= 0 || math.IsNaN(opts.Delta) {
-		return nil, engine.Key{}, fmt.Errorf("%w: discretisation step Delta %v (set AnalysisOptions.Delta to a positive divisor of the well capacities)",
+		return nil, engine.Key{}, false, 0, fmt.Errorf("%w: discretisation step Delta %v (set AnalysisOptions.Delta to a positive divisor of the well capacities)",
 			ErrBadArgument, opts.Delta)
 	}
 	model := w.kibamrm(b)
 	key, _ := engine.Fingerprint(model, opts.Delta, core.Options{})
-	e, err := s.eng.Expanded(model, opts.Delta, core.Options{})
-	if err != nil {
-		return nil, engine.Key{}, wrapErr(err)
+	var start time.Time
+	if opts.Report != nil {
+		start = time.Now()
 	}
-	return e, key, nil
+	e, hit, err := s.eng.Expanded(model, opts.Delta, core.Options{})
+	var buildDur time.Duration
+	if opts.Report != nil {
+		buildDur = time.Since(start)
+	}
+	if err != nil {
+		return nil, engine.Key{}, false, 0, wrapErr(err)
+	}
+	return e, key, hit, buildDur, nil
 }
 
 // LifetimeDistribution computes the paper's Markovian approximation of
@@ -234,17 +334,25 @@ func (s *Solver) LifetimeDistribution(b Battery, w *Workload, times []float64, o
 }
 
 func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, opts AnalysisOptions, pool *sparse.Pool) (*Distribution, error) {
-	e, modelKey, err := s.expanded(b, w, opts)
+	s.solves.Inc()
+	e, modelKey, hit, buildDur, err := s.expanded(b, w, opts)
 	if err != nil {
 		return nil, err
 	}
 	key, memoable := memoKey(kindCDF, modelKey, times, opts)
 	if memoable {
 		if v, ok := s.results.Get(key); ok {
-			return v.(*Distribution).clone(), nil
+			s.memoHits.Inc()
+			entry := v.(memoEntry)
+			replayReport(opts, entry, hit, buildDur)
+			return entry.val.(*Distribution).clone(), nil
 		}
 	}
-	res, err := e.LifetimeCDFOpts(times, solveOptions(opts, pool))
+	var start time.Time
+	if opts.Report != nil {
+		start = time.Now()
+	}
+	res, err := e.LifetimeCDFOpts(times, s.solveOptions(opts, pool))
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -255,8 +363,26 @@ func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, o
 		Transitions: res.NNZ,
 		Iterations:  res.Iterations,
 	}
+	rep := SolveReport{
+		States:             res.States,
+		Transitions:        res.NNZ,
+		Iterations:         res.Iterations,
+		SpMVs:              res.SpMVs,
+		FoxGlynnLeft:       res.FoxGlynnLeft,
+		FoxGlynnRight:      res.FoxGlynnRight,
+		UniformizationRate: res.Rate,
+		ModelCacheHit:      hit,
+	}
+	if opts.Report != nil {
+		rep.BuildDuration = buildDur
+		rep.SolveDuration = time.Since(start)
+		*opts.Report = rep
+	}
 	if memoable {
-		s.results.Put(key, d.clone())
+		// Durations are per-call; the memo stores only the model stats.
+		stored := rep
+		stored.BuildDuration, stored.SolveDuration = 0, 0
+		s.results.Put(key, memoEntry{val: d.clone(), rep: stored})
 	}
 	return d, nil
 }
@@ -266,22 +392,44 @@ func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, o
 // function of the same name. Epsilon, MaxIterations, Context and
 // Progress do not apply to the direct linear solve and are ignored.
 func (s *Solver) ExpectedLifetime(b Battery, w *Workload, opts AnalysisOptions) (float64, error) {
-	e, modelKey, err := s.expanded(b, w, opts)
+	s.solves.Inc()
+	e, modelKey, hit, buildDur, err := s.expanded(b, w, opts)
 	if err != nil {
 		return 0, err
 	}
 	key, memoable := memoKey(kindMean, modelKey, nil, opts)
 	if memoable {
 		if v, ok := s.results.Get(key); ok {
-			return v.(float64), nil
+			s.memoHits.Inc()
+			entry := v.(memoEntry)
+			replayReport(opts, entry, hit, buildDur)
+			return entry.val.(float64), nil
 		}
+	}
+	var start time.Time
+	if opts.Report != nil {
+		start = time.Now()
 	}
 	mean, err := e.MeanLifetime()
 	if err != nil {
 		return 0, wrapErr(err)
 	}
+	// The mean solve is a direct linear system: no uniformisation
+	// statistics to report beyond the chain size.
+	rep := SolveReport{
+		States:        e.NumStates(),
+		Transitions:   e.NNZ(),
+		ModelCacheHit: hit,
+	}
+	if opts.Report != nil {
+		rep.BuildDuration = buildDur
+		rep.SolveDuration = time.Since(start)
+		*opts.Report = rep
+	}
 	if memoable {
-		s.results.Put(key, mean)
+		stored := rep
+		stored.BuildDuration, stored.SolveDuration = 0, 0
+		s.results.Put(key, memoEntry{val: mean, rep: stored})
 	}
 	return mean, nil
 }
@@ -298,18 +446,26 @@ func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, 
 	if b.AvailableFraction >= 1 {
 		return &StrandedCharge{}, nil // no bound well, nothing to strand
 	}
-	e, modelKey, err := s.expanded(b, w, opts)
+	s.solves.Inc()
+	e, modelKey, hit, buildDur, err := s.expanded(b, w, opts)
 	if err != nil {
 		return nil, err
 	}
 	key, memoable := memoKey(kindStranded, modelKey, []float64{horizonSeconds}, opts)
 	if memoable {
 		if v, ok := s.results.Get(key); ok {
-			sc := v.(StrandedCharge)
+			s.memoHits.Inc()
+			entry := v.(memoEntry)
+			replayReport(opts, entry, hit, buildDur)
+			sc := entry.val.(StrandedCharge)
 			return &sc, nil
 		}
 	}
-	wc, err := e.WastedChargeDistributionOpts(horizonSeconds, solveOptions(opts, s.eng.Pool()))
+	var start time.Time
+	if opts.Report != nil {
+		start = time.Now()
+	}
+	wc, err := e.WastedChargeDistributionOpts(horizonSeconds, s.solveOptions(opts, s.eng.Pool()))
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -322,8 +478,20 @@ func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, 
 		MeanAs:          wc.Mean(),
 		FractionOfBound: wc.Mean() / bound,
 	}
+	rep := SolveReport{
+		States:        e.NumStates(),
+		Transitions:   e.NNZ(),
+		ModelCacheHit: hit,
+	}
+	if opts.Report != nil {
+		rep.BuildDuration = buildDur
+		rep.SolveDuration = time.Since(start)
+		*opts.Report = rep
+	}
 	if memoable {
-		s.results.Put(key, sc)
+		stored := rep
+		stored.BuildDuration, stored.SolveDuration = 0, 0
+		s.results.Put(key, memoEntry{val: sc, rep: stored})
 	}
 	return &sc, nil
 }
@@ -360,10 +528,18 @@ func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts Analysis
 	key, memoable := memoKey(kindExact, modelKey, times, opts)
 	key.capBits = math.Float64bits(b.CapacityAs)
 	key.exactCDF = true
+	s.solves.Inc()
 	if memoable {
 		if v, ok := s.results.Get(key); ok {
-			return v.(*Distribution).clone(), nil
+			s.memoHits.Inc()
+			entry := v.(memoEntry)
+			replayReport(opts, entry, false, 0)
+			return entry.val.(*Distribution).clone(), nil
 		}
+	}
+	var start time.Time
+	if opts.Report != nil {
+		start = time.Now()
 	}
 	probs, stats, err := performability.EnergyDepletionCDFStats(model, b.CapacityAs, times, opts.Context)
 	if err != nil {
@@ -376,8 +552,19 @@ func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts Analysis
 		Transitions: stats.Transitions,
 		Iterations:  stats.TransformEvals,
 	}
+	// The exact transform expands no CTMC; Iterations here counts
+	// transform evaluations.
+	rep := SolveReport{
+		States:      stats.States,
+		Transitions: stats.Transitions,
+		Iterations:  stats.TransformEvals,
+	}
+	if opts.Report != nil {
+		rep.SolveDuration = time.Since(start)
+		*opts.Report = rep
+	}
 	if memoable {
-		s.results.Put(key, d.clone())
+		s.results.Put(key, memoEntry{val: d.clone(), rep: rep})
 	}
 	return d, nil
 }
@@ -453,8 +640,21 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 	if spmv < 1 {
 		spmv = 1
 	}
-	pool := sparse.NewPool(spmv)
+	pool := sparse.NewPoolObs(spmv, s.obs)
 	ctx := opts.Context
+
+	// With telemetry, each enqueue is timestamped just before the channel
+	// send; the channel's happens-before edge makes the worker-side read
+	// race-free, and the difference is the scenario's queue wait.
+	var (
+		enqueued  []time.Time
+		queueWait *obs.Histogram
+	)
+	if s.obs != nil {
+		enqueued = make([]time.Time, len(scenarios))
+		queueWait = s.obs.Histogram("sweep_queue_wait_seconds")
+		s.obs.Counter("sweep_scenarios_total").Add(int64(len(scenarios)))
+	}
 
 	results := make([]SweepResult, len(scenarios))
 	var (
@@ -469,6 +669,14 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 			defer wg.Done()
 			for idx := range jobs {
 				sc := scenarios[idx]
+				var span *obs.Span
+				if s.obs != nil {
+					queueWait.ObserveDuration(time.Since(enqueued[idx]).Seconds())
+					span = s.obs.Tracer().Start("sweep.scenario",
+						obs.Int("index", int64(idx)),
+						obs.String("name", sc.Name),
+						obs.Float("delta", sc.DeltaAs))
+				}
 				r := SweepResult{Index: idx, Name: sc.Name}
 				if ctx != nil && ctx.Err() != nil {
 					r.Err = ctx.Err()
@@ -479,6 +687,15 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 						MaxIterations: opts.MaxIterations,
 						Context:       ctx,
 					}, pool)
+				}
+				switch {
+				case r.Err != nil:
+					span.End(obs.String("error", r.Err.Error()))
+				case r.Distribution != nil:
+					span.End(obs.Int("states", int64(r.Distribution.States)),
+						obs.Int("iterations", int64(r.Distribution.Iterations)))
+				default:
+					span.End()
 				}
 				results[idx] = r
 				mu.Lock()
@@ -491,6 +708,9 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 		}()
 	}
 	for i := range scenarios {
+		if enqueued != nil {
+			enqueued[i] = time.Now()
+		}
 		jobs <- i
 	}
 	close(jobs)

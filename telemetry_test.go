@@ -1,0 +1,204 @@
+package batlife
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestSolveReportFirstSolve pins the report of a cold solve: a fresh
+// model build, no memo hit, and the uniformisation statistics of the
+// actual iteration.
+func TestSolveReportFirstSolve(t *testing.T) {
+	b, w := onOffC1(t)
+	times := []float64{10000, 15000}
+	s := NewSolver(SolverOptions{})
+	var rep SolveReport
+	d, err := s.LifetimeDistribution(b, w, times, AnalysisOptions{Delta: 50, Report: &rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModelCacheHit || rep.ResultMemoHit {
+		t.Errorf("cold solve reported hits: %+v", rep)
+	}
+	if rep.States != d.States || rep.Transitions != d.Transitions || rep.Iterations != d.Iterations {
+		t.Errorf("report stats %+v disagree with distribution %d/%d/%d",
+			rep, d.States, d.Transitions, d.Iterations)
+	}
+	if rep.Iterations <= 0 || rep.SpMVs != rep.Iterations {
+		t.Errorf("Iterations = %d, SpMVs = %d; want equal and positive", rep.Iterations, rep.SpMVs)
+	}
+	if rep.FoxGlynnRight <= 0 || rep.FoxGlynnLeft > rep.FoxGlynnRight {
+		t.Errorf("Fox–Glynn window [%d, %d] implausible", rep.FoxGlynnLeft, rep.FoxGlynnRight)
+	}
+	if rep.UniformizationRate <= 0 {
+		t.Errorf("UniformizationRate = %v", rep.UniformizationRate)
+	}
+	if rep.BuildDuration <= 0 || rep.SolveDuration <= 0 {
+		t.Errorf("durations %v/%v, want positive on a cold solve", rep.BuildDuration, rep.SolveDuration)
+	}
+}
+
+// TestSolveReportMemoReplay pins the memo-hit contract: the answer comes
+// from the memo, the statistics replay those of the original solve, and
+// ResultMemoHit/ModelCacheHit are set.
+func TestSolveReportMemoReplay(t *testing.T) {
+	b, w := onOffC1(t)
+	times := []float64{10000, 15000}
+	s := NewSolver(SolverOptions{})
+	var first SolveReport
+	if _, err := s.LifetimeDistribution(b, w, times, AnalysisOptions{Delta: 50, Report: &first}); err != nil {
+		t.Fatal(err)
+	}
+	var second SolveReport
+	d2, err := s.LifetimeDistribution(b, w, times, AnalysisOptions{Delta: 50, Report: &second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.ResultMemoHit || !second.ModelCacheHit {
+		t.Errorf("repeat solve: ResultMemoHit=%v ModelCacheHit=%v, want both true",
+			second.ResultMemoHit, second.ModelCacheHit)
+	}
+	if second.SolveDuration != 0 {
+		t.Errorf("memo hit SolveDuration = %v, want 0", second.SolveDuration)
+	}
+	if second.States != first.States || second.Iterations != first.Iterations ||
+		second.SpMVs != first.SpMVs || second.FoxGlynnRight != first.FoxGlynnRight {
+		t.Errorf("memo replay stats %+v != original %+v", second, first)
+	}
+	if d2.Iterations != first.Iterations {
+		t.Errorf("memoised distribution Iterations = %d, want %d", d2.Iterations, first.Iterations)
+	}
+}
+
+// TestTelemetryExactCounts asserts exact deterministic counter values
+// after a known sequence of solves: two identical queries are one build,
+// one engine hit, one memo hit — and the iteration total matches the
+// report.
+func TestTelemetryExactCounts(t *testing.T) {
+	b, w := onOffC1(t)
+	times := []float64{10000, 15000}
+	reg := NewTelemetry()
+	s := NewSolver(SolverOptions{Telemetry: reg})
+	var rep SolveReport
+	if _, err := s.LifetimeDistribution(b, w, times, AnalysisOptions{Delta: 50, Report: &rep}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LifetimeDistribution(b, w, times, AnalysisOptions{Delta: 50}); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"solver_solves_total":                  2,
+		"solver_result_memo_hits_total":        1,
+		"engine_cache_misses_total":            1,
+		"engine_cache_hits_total":              1,
+		"core_expansions_total":                1,
+		"ctmc_solves_total":                    1,
+		"ctmc_uniformization_iterations_total": int64(rep.Iterations),
+		"ctmc_spmv_total":                      int64(rep.SpMVs),
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("Stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+// TestSweepProgressOncePerScenario pins the Progress contract: exactly
+// one callback per scenario — including memo-served repeats and failing
+// scenarios — with each done value 1..n delivered exactly once.
+func TestSweepProgressOncePerScenario(t *testing.T) {
+	b, w := onOffC1(t)
+	times := []float64{10000, 15000}
+	mk := func(name string, delta float64) Scenario {
+		return Scenario{Name: name, Battery: b, Workload: w, DeltaAs: delta, Times: times}
+	}
+	scenarios := []Scenario{
+		mk("a", 50),
+		mk("a-again", 50), // same cell: served from cache/memo
+		mk("bad", 7),      // 7 does not divide the well capacities: fails
+		mk("b", 100),
+		mk("a-thrice", 50),
+		mk("bad-again", 7),
+	}
+	var (
+		mu    sync.Mutex
+		calls []int
+	)
+	s := NewSolver(SolverOptions{})
+	results, err := s.Sweep(scenarios, SweepOptions{
+		Workers: 3,
+		Progress: func(done, total int) {
+			if total != len(scenarios) {
+				t.Errorf("Progress total = %d, want %d", total, len(scenarios))
+			}
+			mu.Lock()
+			calls = append(calls, done)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(scenarios) {
+		t.Fatalf("Progress fired %d times, want once per scenario (%d)", len(calls), len(scenarios))
+	}
+	sort.Ints(calls)
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("Progress done values %v, want a permutation of 1..%d", calls, len(scenarios))
+		}
+	}
+	var failed int
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Errorf("%d failed scenarios, want 2", failed)
+	}
+}
+
+// TestSweepTelemetrySpans runs an instrumented sweep and checks the span
+// coverage the trace export promises: one sweep.scenario span per
+// scenario, plus build and transient spans underneath.
+func TestSweepTelemetrySpans(t *testing.T) {
+	b, w := onOffC1(t)
+	times := []float64{10000, 15000}
+	reg := NewTelemetry()
+	s := NewSolver(SolverOptions{Telemetry: reg})
+	scenarios := []Scenario{
+		{Name: "d50", Battery: b, Workload: w, DeltaAs: 50, Times: times},
+		{Name: "d100", Battery: b, Workload: w, DeltaAs: 100, Times: times},
+		{Name: "bad", Battery: b, Workload: w, DeltaAs: 7, Times: times},
+	}
+	if _, err := s.Sweep(scenarios, SweepOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, span := range reg.Tracer().Spans() {
+		byName[span.Name]++
+	}
+	if byName["sweep.scenario"] != len(scenarios) {
+		t.Errorf("sweep.scenario spans = %d, want %d (got %v)", byName["sweep.scenario"], len(scenarios), byName)
+	}
+	// All three scenarios are cache misses, so three engine.build spans
+	// (the bad Δ ends with an error attr); core.build rejects the bad Δ
+	// in validation, before its span starts.
+	if byName["engine.build"] != 3 || byName["core.build"] != 2 {
+		t.Errorf("build spans engine=%d core=%d, want 3/2", byName["engine.build"], byName["core.build"])
+	}
+	if byName["ctmc.transient"] != 2 {
+		t.Errorf("ctmc.transient spans = %d, want 2", byName["ctmc.transient"])
+	}
+	if v := reg.Counter("sweep_scenarios_total").Value(); v != int64(len(scenarios)) {
+		t.Errorf("sweep_scenarios_total = %d, want %d", v, len(scenarios))
+	}
+	if h := reg.Histogram("sweep_queue_wait_seconds"); h.Snapshot().Count != int64(len(scenarios)) {
+		t.Errorf("sweep_queue_wait_seconds count = %d, want %d", h.Snapshot().Count, len(scenarios))
+	}
+}
