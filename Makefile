@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race checks lint bench ci
+.PHONY: all build test race checks lint lint-flow bench ci
 
 all: build test lint
 
@@ -24,7 +24,7 @@ race:
 checks:
 	$(GO) test -tags debugchecks ./...
 
-## lint: gofmt, go vet (both tag configurations), and numlint
+## lint: gofmt and go vet (both tag configurations)
 lint:
 	@fmtout=$$(gofmt -l .); \
 	if [ -n "$$fmtout" ]; then \
@@ -32,7 +32,15 @@ lint:
 	fi
 	$(GO) vet ./...
 	$(GO) vet -tags debugchecks ./internal/check
-	$(GO) run ./tools/numlint ./...
+
+## lint-flow: the numlint analyzer suite over the whole module, gated on
+## the committed baseline (only findings absent from
+## .numlint-baseline.json fail), after vetting and race-testing the
+## analyzers themselves. See docs/STATIC_ANALYSIS.md.
+lint-flow:
+	$(GO) vet ./tools/...
+	$(GO) test -race ./tools/numlint/...
+	$(GO) run ./tools/numlint -baseline .numlint-baseline.json ./...
 
 ## bench: run every benchmark once (smoke); pass BENCHTIME for real runs.
 ## The Solver benchmarks (cached reuse, parallel sweep) additionally land
@@ -48,4 +56,4 @@ bench:
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_obs.json
 
 ## ci: everything the CI workflow gates on
-ci: lint build test race checks
+ci: lint lint-flow build test race checks

@@ -17,6 +17,15 @@
 // Workloads are either built-in ("simple", "burst", "onoff") or custom
 // JSON specifications (see -spec).
 //
+// Exit status distinguishes the failure class for scripts driving
+// parameter studies:
+//
+//	0  success
+//	1  internal error (solver failure, I/O, ...)
+//	2  usage error: unknown subcommand, bad flags, or batlife.ErrBadArgument
+//	3  batlife.ErrIterationLimit: the solve was refused or truncated by
+//	   an iteration budget — retry with a larger budget or coarser grid
+//
 // Examples:
 //
 //	batlife lifetime -capacity 2000mAh -c 0.625 -k 4.5e-5 -current 0.96A
@@ -29,49 +38,81 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
+
+	"batlife"
+)
+
+// Exit codes; see the command doc comment.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitLimit    = 3
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "lifetime":
-		err = cmdLifetime(os.Args[2:])
-	case "cdf":
-		err = cmdCDF(os.Args[2:])
-	case "simulate":
-		err = cmdSimulate(os.Args[2:])
-	case "calibrate":
-		err = cmdCalibrate(os.Args[2:])
-	case "trace":
-		err = cmdTrace(os.Args[2:])
-	case "mean":
-		err = cmdMean(os.Args[2:])
-	case "compare":
-		err = cmdCompare(os.Args[2:])
-	case "sweep":
-		err = cmdSweep(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-		return
-	default:
-		fmt.Fprintf(os.Stderr, "batlife: unknown subcommand %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "batlife:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stderr))
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage: batlife <subcommand> [flags]
+// run dispatches one subcommand and returns the process exit code.
+func run(args []string, stderr *os.File) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return exitUsage
+	}
+	var err error
+	switch args[0] {
+	case "lifetime":
+		err = cmdLifetime(args[1:])
+	case "cdf":
+		err = cmdCDF(args[1:])
+	case "simulate":
+		err = cmdSimulate(args[1:])
+	case "calibrate":
+		err = cmdCalibrate(args[1:])
+	case "trace":
+		err = cmdTrace(args[1:])
+	case "mean":
+		err = cmdMean(args[1:])
+	case "compare":
+		err = cmdCompare(args[1:])
+	case "sweep":
+		err = cmdSweep(args[1:])
+	case "-h", "--help", "help":
+		usage(stderr)
+		return exitOK
+	default:
+		fmt.Fprintf(stderr, "batlife: unknown subcommand %q\n\n", args[0])
+		usage(stderr)
+		return exitUsage
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "batlife:", err)
+	}
+	return exitCode(err)
+}
+
+// exitCode maps a subcommand error to the exit status: invalid
+// arguments land with usage errors, iteration-budget refusals get their
+// own code so callers can retry with a different budget, and everything
+// else is an internal error.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, batlife.ErrBadArgument):
+		return exitUsage
+	case errors.Is(err, batlife.ErrIterationLimit):
+		return exitLimit
+	}
+	return exitInternal
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: batlife <subcommand> [flags]
 
 subcommands:
   lifetime   analytic KiBaM lifetime under constant or square-wave load
@@ -83,6 +124,7 @@ subcommands:
   compare    approximation vs simulation (vs exact when c = 1)
   sweep      parallel scenario grid (capacities x discretisation steps)
 
-run 'batlife <subcommand> -h' for flags
+run 'batlife <subcommand> -h' for flags; exit codes: 0 ok, 1 internal,
+2 usage, 3 iteration limit
 `)
 }

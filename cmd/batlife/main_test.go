@@ -1,0 +1,81 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"batlife"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"bad argument", batlife.ErrBadArgument, exitUsage},
+		{"wrapped bad argument", fmt.Errorf("cdf: %w", fmt.Errorf("%w: c 0", batlife.ErrBadArgument)), exitUsage},
+		{"iteration limit", batlife.ErrIterationLimit, exitLimit},
+		{"wrapped iteration limit", fmt.Errorf("sweep: %w", batlife.ErrIterationLimit), exitLimit},
+		{"internal", errors.New("disk on fire"), exitInternal},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, exitUsage},
+		{"unknown subcommand", []string{"bogus"}, exitUsage},
+		{"help", []string{"help"}, exitOK},
+		{"lifetime ok", []string{"lifetime", "-current", "0.96A"}, exitOK},
+		{"lifetime bad unit", []string{"lifetime", "-current", "0.96V"}, exitInternal},
+		{"lifetime bad params", []string{"lifetime", "-current", "0.96A", "-c", "0"}, exitInternal},
+	}
+	// Subcommands print to stdout; silence it for the test.
+	oldStdout := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = oldStdout }()
+	for _, tc := range cases {
+		if got := run(tc.args, devnull); got != tc.want {
+			t.Errorf("run(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunBadArgumentExitCode drives a facade-backed subcommand with an
+// argument the library rejects via ErrBadArgument and checks the
+// distinct usage exit code survives the dispatch path.
+func TestRunBadArgumentExitCode(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	oldStdout := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = oldStdout }()
+	// sweep goes through batlife.Solver, which rejects a non-positive
+	// discretisation step with ErrBadArgument; with a single scenario
+	// the all-failed path must carry the sentinel out.
+	got := run([]string{"sweep", "-workload", "simple", "-capacity", "800mAh",
+		"-deltas", "0mAh", "-until", "30h", "-points", "4"}, devnull)
+	if got != exitUsage {
+		t.Errorf("run(sweep -deltas 0mAh) = %d, want %d", got, exitUsage)
+	}
+}

@@ -105,14 +105,20 @@ func cmdSweep(args []string) (retErr error) {
 		return err
 	}
 	var failed int
+	var firstErr error
 	for _, r := range results {
 		if r.Err != nil {
 			failed++
+			if firstErr == nil {
+				firstErr = r.Err
+			}
 			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", r.Name, r.Err)
 		}
 	}
 	if failed == len(results) {
-		return fmt.Errorf("all %d scenarios failed", failed)
+		// Wrap the first failure so sentinel classes (ErrBadArgument,
+		// ErrIterationLimit) survive into the process exit code.
+		return fmt.Errorf("all %d scenarios failed: %w", failed, firstErr)
 	}
 
 	header := []string{"t_s", "t_h"}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"batlife/internal/check"
 	"batlife/internal/ctmc"
 	"batlife/internal/mrm"
 	"batlife/internal/obs"
@@ -426,5 +427,8 @@ func (e *Expanded) StateDistribution(t float64) ([]float64, error) {
 			}
 		}
 	}
+	// The marginal sums to the transient mass (1 minus truncation tail),
+	// so assert non-negativity rather than exact conservation.
+	check.NonNegative("core.StateDistribution", out)
 	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"batlife/internal/check"
 	"batlife/internal/linalg"
 	"batlife/internal/sparse"
 )
@@ -191,6 +192,9 @@ func (c *Chain) SteadyState() ([]float64, error) {
 			pi[i] = 0
 		}
 	}
+	// Σπ = 1 is an equation of the solve; after clamping the residual
+	// negatives, non-negativity is the remaining invariant to assert.
+	check.NonNegative("ctmc.SteadyState", pi)
 	return pi, nil
 }
 
@@ -201,6 +205,8 @@ func (c *Chain) Transient(alpha []float64, times []float64, opts TransientOption
 }
 
 // UniformDistribution returns the uniform initial distribution.
+//
+//numlint:normalized n entries of 1/n sum to 1 by construction
 func (c *Chain) UniformDistribution() []float64 {
 	n := c.NumStates()
 	alpha := make([]float64, n)
@@ -211,6 +217,8 @@ func (c *Chain) UniformDistribution() []float64 {
 }
 
 // PointDistribution returns the distribution concentrated on state i.
+//
+//numlint:normalized unit mass on a single coordinate by construction
 func (c *Chain) PointDistribution(i int) []float64 {
 	alpha := make([]float64, c.NumStates())
 	alpha[i] = 1

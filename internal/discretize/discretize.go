@@ -125,7 +125,7 @@ func EnergyDepletionCDFOpts(m mrm.ConstantReward, capacity float64, times []floa
 	reg.Counter("discretize_runs_total").Inc()
 	reg.Histogram("discretize_run_seconds").ObserveDuration(time.Since(start).Seconds())
 	span.End()
-	return out, nil
+	return out, nil //numlint:normalized energyDepletionCDF asserts check.UnitInterval before returning
 }
 
 func energyDepletionCDF(m mrm.ConstantReward, capacity float64, times []float64, step float64, reg *obs.Registry) ([]float64, error) {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"batlife/internal/check"
 )
 
 // ErrNoSamples reports an empty sample set.
@@ -60,6 +62,7 @@ func (e *ECDF) Eval(xs []float64) []float64 {
 	for i, x := range xs {
 		out[i] = e.At(x)
 	}
+	check.UnitInterval("dist.ECDF.Eval", out)
 	return out
 }
 

@@ -120,9 +120,10 @@ func Compute(lambda, eps float64) (*Weights, error) {
 }
 
 // LogPMF returns the exact log of the Poisson(lambda) pmf at n, used by
-// tests to validate the recursion anchor.
+// tests to validate the recursion anchor. Non-positive lambda is
+// treated as the degenerate rate-zero process.
 func LogPMF(n int, lambda float64) float64 {
-	if lambda == 0 {
+	if lambda <= 0 {
 		if n == 0 {
 			return 0
 		}

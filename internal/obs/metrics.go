@@ -16,6 +16,8 @@ type Counter struct {
 func NewCounter() *Counter { return &Counter{} }
 
 // Add increments the counter by n. No-op on a nil Counter.
+//
+//numlint:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -136,6 +138,8 @@ func bucketValue(i int) float64 {
 }
 
 // Observe records one sample. No-op on a nil Histogram.
+//
+//numlint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

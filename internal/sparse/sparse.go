@@ -249,8 +249,11 @@ func (m *CSR) Transpose() *CSR {
 
 // MulVec computes dst = m·x (matrix times column vector). dst and x must
 // not alias. It runs serially; see ParallelMulVec for large matrices.
+//
+//numlint:hotpath
 func (m *CSR) MulVec(dst, x []float64) error {
 	if len(x) != m.cols || len(dst) != m.rows {
+		//numlint:ignore hotalloc cold shape-error path, never taken per SpMV iteration
 		return fmt.Errorf("sparse: MulVec %dx%d with |x|=%d |dst|=%d: %w",
 			m.rows, m.cols, len(x), len(dst), ErrShape)
 	}
@@ -268,8 +271,11 @@ func (m *CSR) MulVec(dst, x []float64) error {
 // VecMul computes dst = x·m (row vector times matrix) without
 // transposing. It is a gather-free scatter loop and therefore serial;
 // for repeated products transpose once and use MulVec.
+//
+//numlint:hotpath
 func (m *CSR) VecMul(dst, x []float64) error {
 	if len(x) != m.rows || len(dst) != m.cols {
+		//numlint:ignore hotalloc cold shape-error path, never taken per SpMV iteration
 		return fmt.Errorf("sparse: VecMul %dx%d with |x|=%d |dst|=%d: %w",
 			m.rows, m.cols, len(x), len(dst), ErrShape)
 	}

@@ -372,3 +372,34 @@ func benchmarkMulVec(b *testing.B, workers int) {
 		}
 	}
 }
+
+// TestMulVecZeroAlloc backs the //numlint:hotpath annotations on MulVec
+// and VecMul: the serial SpMV kernels must not allocate per call, since
+// uniformisation drives them once per Taylor term per time point.
+func TestMulVecZeroAlloc(t *testing.T) {
+	b := NewBuilder(64, 64, 0)
+	for i := 0; i < 64; i++ {
+		b.Add(i, i, 2)
+		b.Add(i, (i+1)%64, -1)
+	}
+	m, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	x := make([]float64, 64)
+	dst := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i%7) + 0.5
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.MulVec(dst, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.VecMul(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MulVec+VecMul allocate %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,185 @@
+// Findings baseline: CI fails only on findings not present in the
+// checked-in baseline file, so the analyzer suite can be tightened (or
+// a new analyzer landed) without requiring every historical finding to
+// be fixed in the same change.
+//
+// A baseline entry matches on (analyzer, module-relative file, message)
+// with an occurrence count — line numbers are deliberately excluded so
+// unrelated edits to a file do not invalidate the baseline. The
+// workflow:
+//
+//	go run ./tools/numlint -baseline .numlint-baseline.json ./...   # gate
+//	go run ./tools/numlint -write-baseline .numlint-baseline.json ./...  # refresh
+//
+// Refreshing the baseline to swallow a fixable finding is a review
+// smell; prefer a fix or a documented //numlint:ignore.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the on-disk format of .numlint-baseline.json.
+type Baseline struct {
+	// Comment documents the file for humans; the tool ignores it.
+	Comment string `json:"comment,omitempty"`
+	// Findings are the accepted findings.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-relative with forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is how many identical findings are accepted; 0 means 1.
+	Count int `json:"count,omitempty"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+func (e BaselineEntry) count() int {
+	if e.Count <= 0 {
+		return 1
+	}
+	return e.Count
+}
+
+// loadBaseline reads a baseline file; a missing file is an empty
+// baseline so the flag can be wired into CI before the file exists.
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("numlint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("numlint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// relFile converts a diagnostic's absolute filename to the
+// module-relative slash form used in baselines and JSON reports.
+func relFile(modDir, filename string) string {
+	if rel, err := filepath.Rel(modDir, filename); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// filterBaseline splits diagnostics into (new, accepted): each
+// baseline entry absorbs up to count() matching findings.
+func filterBaseline(b *Baseline, modDir string, diags []Diagnostic) (newFindings, accepted []Diagnostic) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[e.key()] += e.count()
+	}
+	for _, d := range diags {
+		k := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relFile(modDir, d.Pos.Filename),
+			Message:  d.Message,
+		}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			accepted = append(accepted, d)
+			continue
+		}
+		newFindings = append(newFindings, d)
+	}
+	return newFindings, accepted
+}
+
+// writeBaseline persists the current findings as the new baseline.
+func writeBaseline(path, modDir string, diags []Diagnostic) error {
+	counts := map[BaselineEntry]int{}
+	for _, d := range diags {
+		counts[BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relFile(modDir, d.Pos.Filename),
+			Message:  d.Message,
+		}]++
+	}
+	b := Baseline{
+		Comment:  "Accepted numlint findings. Matching ignores line numbers; see docs/STATIC_ANALYSIS.md for the refresh workflow.",
+		Findings: []BaselineEntry{},
+	}
+	for e, n := range counts {
+		if n > 1 {
+			e.Count = n
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// jsonFinding is the machine-readable report row for -json mode.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	// Baselined marks findings absorbed by the baseline (reported for
+	// visibility, but not gating).
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+func writeJSONReport(w *os.File, modDir string, newFindings, accepted []Diagnostic) error {
+	rows := make([]jsonFinding, 0, len(newFindings)+len(accepted))
+	add := func(d Diagnostic, baselined bool) {
+		rows = append(rows, jsonFinding{
+			Analyzer:  d.Analyzer,
+			File:      relFile(modDir, d.Pos.Filename),
+			Line:      d.Pos.Line,
+			Column:    d.Pos.Column,
+			Message:   d.Message,
+			Baselined: baselined,
+		})
+	}
+	for _, d := range newFindings {
+		add(d, false)
+	}
+	for _, d := range accepted {
+		add(d, true)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].File != rows[j].File {
+			return rows[i].File < rows[j].File
+		}
+		if rows[i].Line != rows[j].Line {
+			return rows[i].Line < rows[j].Line
+		}
+		return rows[i].Analyzer < rows[j].Analyzer
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+	}{rows})
+}

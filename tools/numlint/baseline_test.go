@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestFilterBaseline(t *testing.T) {
+	modDir := "/mod"
+	diags := []Diagnostic{
+		diag("divguard", "/mod/a/a.go", 10, "divide"),
+		diag("divguard", "/mod/a/a.go", 40, "divide"), // same key, second hit
+		diag("hotalloc", "/mod/b/b.go", 5, "make"),
+	}
+
+	t.Run("empty baseline passes everything through", func(t *testing.T) {
+		newF, accepted := filterBaseline(&Baseline{}, modDir, diags)
+		if len(newF) != 3 || len(accepted) != 0 {
+			t.Fatalf("got %d new, %d accepted; want 3, 0", len(newF), len(accepted))
+		}
+	})
+
+	t.Run("entry without count absorbs one finding", func(t *testing.T) {
+		b := &Baseline{Findings: []BaselineEntry{
+			{Analyzer: "divguard", File: "a/a.go", Message: "divide"},
+		}}
+		newF, accepted := filterBaseline(b, modDir, diags)
+		if len(accepted) != 1 || len(newF) != 2 {
+			t.Fatalf("got %d new, %d accepted; want 2, 1", len(newF), len(accepted))
+		}
+		// Line numbers are deliberately not part of the match: the first
+		// occurrence is absorbed, the second is new.
+		if newF[0].Pos.Line != 40 {
+			t.Fatalf("new finding at line %d, want the second occurrence (40)", newF[0].Pos.Line)
+		}
+	})
+
+	t.Run("count widens the budget", func(t *testing.T) {
+		b := &Baseline{Findings: []BaselineEntry{
+			{Analyzer: "divguard", File: "a/a.go", Message: "divide", Count: 2},
+			{Analyzer: "hotalloc", File: "b/b.go", Message: "make"},
+		}}
+		newF, accepted := filterBaseline(b, modDir, diags)
+		if len(newF) != 0 || len(accepted) != 3 {
+			t.Fatalf("got %d new, %d accepted; want 0, 3", len(newF), len(accepted))
+		}
+	})
+
+	t.Run("message mismatch does not match", func(t *testing.T) {
+		b := &Baseline{Findings: []BaselineEntry{
+			{Analyzer: "divguard", File: "a/a.go", Message: "other"},
+		}}
+		newF, _ := filterBaseline(b, modDir, diags)
+		if len(newF) != 3 {
+			t.Fatalf("got %d new findings, want 3", len(newF))
+		}
+	})
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	modDir := t.TempDir()
+	path := filepath.Join(modDir, ".numlint-baseline.json")
+	diags := []Diagnostic{
+		diag("divguard", filepath.Join(modDir, "a", "a.go"), 10, "divide"),
+		diag("divguard", filepath.Join(modDir, "a", "a.go"), 40, "divide"),
+		diag("ctxflow", filepath.Join(modDir, "c.go"), 7, "dropped"),
+	}
+	if err := writeBaseline(path, modDir, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("round-tripped %d entries, want 2 (duplicates fold into a count)", len(b.Findings))
+	}
+	// Entries are sorted by analyzer, so ctxflow first.
+	if b.Findings[0].Analyzer != "ctxflow" || b.Findings[0].count() != 1 {
+		t.Fatalf("first entry %+v, want ctxflow count 1", b.Findings[0])
+	}
+	if b.Findings[1].Analyzer != "divguard" || b.Findings[1].count() != 2 {
+		t.Fatalf("second entry %+v, want divguard count 2", b.Findings[1])
+	}
+	newF, accepted := filterBaseline(b, modDir, diags)
+	if len(newF) != 0 || len(accepted) != 3 {
+		t.Fatalf("round-tripped baseline: %d new, %d accepted; want 0, 3", len(newF), len(accepted))
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := loadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline should be empty, got error %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("missing baseline has %d findings, want 0", len(b.Findings))
+	}
+}
+
+func TestWriteJSONReport(t *testing.T) {
+	modDir := t.TempDir()
+	out, err := os.CreateTemp(t.TempDir(), "report*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	newF := []Diagnostic{diag("hotalloc", filepath.Join(modDir, "b.go"), 5, "make")}
+	accepted := []Diagnostic{diag("divguard", filepath.Join(modDir, "a.go"), 10, "divide")}
+	if err := writeJSONReport(out, modDir, newF, accepted); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Findings []jsonFinding `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(report.Findings) != 2 {
+		t.Fatalf("report has %d findings, want 2", len(report.Findings))
+	}
+	// Sorted by file: a.go (baselined) before b.go (new).
+	if report.Findings[0].File != "a.go" || !report.Findings[0].Baselined {
+		t.Fatalf("first row %+v, want baselined a.go", report.Findings[0])
+	}
+	if report.Findings[1].File != "b.go" || report.Findings[1].Baselined {
+		t.Fatalf("second row %+v, want new b.go", report.Findings[1])
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflowAnalyzer keeps the cancellation chain unbroken: a function
+// that receives a context.Context (directly, or inside an options
+// struct with a Context field) and calls a module-local callee that
+// accepts one must actually pass a context along — again either
+// directly or via an options struct. The Sweep → Solver → engine →
+// ctmc.Transient chain threads cancellation through such structs, so a
+// call that silently drops the context turns a cancellable solve into
+// an unbounded one.
+//
+// Two findings:
+//
+//	dropped   a context-capable callee is invoked with no context-ish argument
+//	fresh     context.Background()/TODO() is minted while a caller context is in scope
+var ctxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag calls that drop an in-scope context.Context on its way to a context-capable callee",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	funcsOf(pass, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+		sig, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		st := sig.Type().(*types.Signature)
+		direct, viaStruct := paramsCarryContext(st.Params())
+		if !direct && !viaStruct {
+			return
+		}
+		checkCtxBody(pass, fd.Name.Name, body, direct)
+	})
+}
+
+// checkCtxBody walks one function body that has a context in scope.
+// Nested function literals inherit the enclosing scope (closures can
+// reference ctx), so unlike the other flow analyzers they are walked
+// too rather than treated as separate frames.
+func checkCtxBody(pass *Pass, name string, body *ast.BlockStmt, directCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if directCtx && fn.Pkg().Path() == "context" &&
+			(fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(),
+				"%s has a caller context in scope but mints context.%s, detaching the cancellation chain",
+				name, fn.Name())
+			return true
+		}
+		if !strings.HasPrefix(fn.Pkg().Path(), pass.ModPath) {
+			return true
+		}
+		csig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		calleeDirect, calleeStruct := paramsCarryContext(csig.Params())
+		if !calleeDirect && !calleeStruct {
+			return true
+		}
+		for _, arg := range call.Args {
+			t := pass.Info.Types[arg].Type
+			if t == nil {
+				continue
+			}
+			if isContextType(t) || structCarriesContext(t) {
+				return true // context travels with this argument
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"%s has a context in scope but calls %s (context-capable) without passing one",
+			name, fn.Name())
+		return true
+	})
+}
+
+// paramsCarryContext reports whether a parameter list includes a
+// context.Context directly, or a struct with a context field.
+func paramsCarryContext(params *types.Tuple) (direct, viaStruct bool) {
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if isContextType(t) {
+			direct = true
+		} else if structCarriesContext(t) {
+			viaStruct = true
+		}
+	}
+	return direct, viaStruct
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// structCarriesContext reports whether t (or *t) is a struct with a
+// context.Context field — the options-struct idiom used across the
+// solver stack.
+func structCarriesContext(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+// Directive handling shared by the flow-based analyzers.
+//
+// Beyond //numlint:ignore (see analysis.go), the dataflow suite
+// understands two assertion directives:
+//
+//	//numlint:hotpath             function must stay allocation-free (hotalloc)
+//	//numlint:normalized <why>    vector is normalized by construction (probconserve)
+//
+// hotpath appears in a function's doc comment and opts the function in
+// to hotalloc. normalized appears on (or directly above) a return
+// statement, or in the doc comment to cover every return, and records
+// why conservation holds without a runtime guard.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// funcDirective reports whether fd's doc comment carries the directive
+// //numlint:<name>.
+func funcDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if directiveNamed(c.Text, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func directiveNamed(comment, name string) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	return text == "numlint:"+name || strings.HasPrefix(text, "numlint:"+name+" ")
+}
+
+// lineDirectives maps filename -> line for every //numlint:<name>
+// directive in files, so analyzers can honour assertions placed on or
+// directly above a statement.
+func lineDirectives(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !directiveNamed(c.Text, name) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// markedAt reports whether a directive from lineDirectives covers pos:
+// same line or the line directly above.
+func markedAt(dir map[string]map[int]bool, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	m := dir[p.Filename]
+	return m != nil && (m[p.Line] || m[p.Line-1])
+}
+
+// funcsOf invokes fn for every function declaration with a body in the
+// pass, and separately for every function literal, so flow analyses can
+// treat each frame independently. decl is nil for literals.
+func funcsOf(pass *Pass, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd, fd.Body)
+		}
+	}
+}
+
+// funcLitsOf invokes fn for every function literal in the pass.
+func funcLitsOf(pass *Pass, fn func(lit *ast.FuncLit)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(lit)
+			}
+			return true
+		})
+	}
+}

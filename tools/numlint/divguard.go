@@ -1,0 +1,164 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"batlife/tools/numlint/internal/flow"
+)
+
+// divguardAnalyzer is the dataflow upgrade of naninf: instead of asking
+// "does the parameter appear in any condition anywhere?", it asks
+// whether a positivity/non-zero guard *dominates* each dangerous
+// operation. A guard inside one branch does not protect the other
+// branch; a guard followed by reassignment protects nothing.
+//
+//	x / d           needs a dominating d != 0 (or d > 0) fact
+//	math.Log(d)     needs a dominating d > 0 fact
+//	math.Sqrt(d)    needs a dominating d >= 0 fact
+//
+// Scope matches naninf — float-typed parameters of float-returning
+// functions — so the two analyzers agree on what a "float kernel" is,
+// and a documented precondition ("must be", "positive", ...) exempts
+// the function from both. Guards carried by short-circuit conjuncts
+// count: in `d != 0 && 1/d > eps` the division is guarded.
+//
+// The two analyzers partition the findings rather than overlap: naninf
+// owns parameters with no guard anywhere in the function, divguard owns
+// parameters that *are* guarded somewhere but where the guard fails to
+// dominate a use — exactly the cases the syntactic pass waves through.
+var divguardAnalyzer = &Analyzer{
+	Name: "divguard",
+	Doc:  "flag division/Log/Sqrt of parameters with no dominating positivity guard on some path",
+	Run:  runDivguard,
+}
+
+func runDivguard(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !returnsFloat(pass, fd) || docStatesPrecondition(fd.Doc) {
+				continue
+			}
+			params := floatParams(pass, fd)
+			// Restrict to parameters naninf considers guarded (they
+			// appear in some branch condition): wholly unguarded
+			// parameters are naninf findings, not divguard ones.
+			guarded := guardedObjects(pass, fd.Body)
+			for obj := range params {
+				if !guarded[obj] {
+					delete(params, obj)
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			g := flow.New(fd.Body)
+			sol := flow.GuardFacts(pass.Info, g)
+			for _, b := range g.Blocks {
+				for idx, node := range b.Nodes {
+					facts, reachable := flow.FactsAt(pass.Info, sol, b, idx)
+					if !reachable {
+						continue
+					}
+					walkWithFacts(pass, fd, params, node, facts)
+				}
+			}
+		}
+	}
+}
+
+// walkWithFacts inspects one CFG node under the facts holding on its
+// entry, refining them through short-circuit operators.
+func walkWithFacts(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, node ast.Node, facts flow.Facts) {
+	flow.Inspect(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			// Separate frame: fd's parameter guards say nothing about it.
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.LAND || e.Op == token.LOR {
+				walkWithFacts(pass, fd, params, e.X, facts)
+				refined := unionFacts(facts, flow.CondFacts(pass.Info, e.X, e.Op == token.LAND))
+				walkWithFacts(pass, fd, params, e.Y, refined)
+				return false
+			}
+			if e.Op == token.QUO {
+				checkDivision(pass, fd, params, e, facts)
+			}
+		case *ast.CallExpr:
+			checkMathArg(pass, fd, params, e, facts)
+		}
+		return true
+	})
+}
+
+func checkDivision(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, e *ast.BinaryExpr, facts flow.Facts) {
+	if tv := pass.Info.Types[e.Y]; tv.Value != nil {
+		return // constant denominator
+	}
+	if !isFloat(pass.Info.Types[e.X].Type) && !isFloat(pass.Info.Types[e.Y].Type) {
+		return
+	}
+	obj := paramIdent(pass, params, e.Y)
+	if obj == nil || facts.Has(obj, flow.NonZero) {
+		return
+	}
+	pass.Reportf(e.OpPos,
+		"possible NaN/Inf: %s divides by parameter %s on a path with no dominating non-zero guard",
+		fd.Name.Name, obj.Name())
+}
+
+func checkMathArg(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, e *ast.CallExpr, facts flow.Facts) {
+	need := flow.Positive
+	switch {
+	case isMathCall(pass.Info, e, "Log", "Log2", "Log10"):
+	case isMathCall(pass.Info, e, "Sqrt"):
+		need = flow.NonNegative
+	default:
+		return
+	}
+	if len(e.Args) != 1 {
+		return
+	}
+	if tv := pass.Info.Types[e.Args[0]]; tv.Value != nil {
+		return
+	}
+	obj := paramIdent(pass, params, e.Args[0])
+	if obj == nil || facts.Has(obj, need) {
+		return
+	}
+	fn := calleeFunc(pass.Info, e)
+	pass.Reportf(e.Pos(),
+		"possible NaN/Inf: %s applies math.%s to parameter %s on a path with no dominating %s guard",
+		fd.Name.Name, fn.Name(), obj.Name(), need)
+}
+
+// paramIdent resolves e to a tracked parameter object when e is (after
+// unwrapping parentheses) a plain identifier for one.
+func paramIdent(pass *Pass, params map[types.Object]bool, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !params[obj] {
+		return nil
+	}
+	return obj
+}
+
+func unionFacts(a, b flow.Facts) flow.Facts {
+	out := flow.Facts{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

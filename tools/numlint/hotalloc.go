@@ -1,0 +1,101 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotallocAnalyzer keeps annotated hot paths allocation-free. A
+// function whose doc comment carries //numlint:hotpath is an inner-loop
+// kernel (SpMV, uniformisation steps, telemetry record paths) where a
+// single allocation per call multiplies into GC pressure across
+// millions of iterations. The analyzer flags every construct that can
+// allocate:
+//
+//	composite literals, make/new, append (may grow), closures
+//	(func literals), go/defer statements, string concatenation,
+//	string<->[]byte/[]rune conversions, and fmt.* calls
+//
+// Interface boxing of stack values is not modelled; pair every hotpath
+// annotation with a testing.AllocsPerRun test to close that gap (see
+// docs/STATIC_ANALYSIS.md).
+var hotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocating constructs inside functions annotated //numlint:hotpath",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	funcsOf(pass, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+		if !funcDirective(fd, "hotpath") {
+			return
+		}
+		name := fd.Name.Name
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				pass.Reportf(e.Pos(), "%s is a hotpath but allocates a composite literal", name)
+			case *ast.FuncLit:
+				pass.Reportf(e.Pos(), "%s is a hotpath but allocates a closure", name)
+				return false // contents belong to the closure's frame
+			case *ast.GoStmt:
+				pass.Reportf(e.Pos(), "%s is a hotpath but spawns a goroutine", name)
+			case *ast.DeferStmt:
+				pass.Reportf(e.Pos(), "%s is a hotpath but defers (allocates a defer record in loops)", name)
+			case *ast.BinaryExpr:
+				if e.Op == token.ADD && isString(pass.Info.Types[e.X].Type) {
+					pass.Reportf(e.OpPos, "%s is a hotpath but concatenates strings", name)
+				}
+			case *ast.CallExpr:
+				reportHotCall(pass, name, e)
+			}
+			return true
+		})
+	})
+}
+
+func reportHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is a hotpath but calls %s", name, id.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "%s is a hotpath but appends (may grow and allocate)", name)
+			}
+			return
+		}
+	}
+	// Conversions between strings and byte/rune slices copy.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.Info.Types[call.Args[0]].Type
+		if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+			pass.Reportf(call.Pos(), "%s is a hotpath but converts between string and slice (copies)", name)
+		}
+		return
+	}
+	// fmt.* formats through interfaces and allocates.
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is a hotpath but calls fmt.%s (formats and allocates)", name, fn.Name())
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

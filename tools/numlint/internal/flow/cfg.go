@@ -1,0 +1,457 @@
+// Package flow is the dataflow core of the numlint analysis suite: a
+// per-function control-flow graph built from go/ast, a generic forward
+// worklist solver, and a guarded-fact lattice derived from branch
+// conditions. The PR-1 analyzers matched syntax per expression; the
+// flow-based analyzers (divguard, probconserve, ctxflow, sharedcapture,
+// hotalloc) reason about *paths*: a guard only counts where it
+// dominates the guarded operation.
+//
+// Like the rest of numlint, the package is stdlib-only — it mirrors the
+// useful subset of golang.org/x/tools/go/cfg without the dependency.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a straight-line sequence of statements with no internal
+// control transfer. Nodes holds the statements (and branch condition
+// expressions) in execution order.
+type Block struct {
+	// Index is the block's position in Graph.Blocks; Entry is 0.
+	Index int
+	// Nodes are the statements and control expressions executed in
+	// order when the block runs.
+	Nodes []ast.Node
+	// Succs and Preds are the outgoing and incoming edges.
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control transfer. When Cond is non-nil the edge is taken
+// exactly when Cond evaluates to Branch, which lets analyses attach
+// condition-derived facts to the destination.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Branch   bool
+}
+
+// Graph is the control-flow graph of one function body. Exit is a
+// synthetic block: every return, panic, or fall-off-the-end transfers
+// there. Function literals nested in the body are *not* expanded —
+// their bodies get their own Graph when an analysis needs one.
+type Graph struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+	// Returns are the explicit return statements, each paired with the
+	// block that executes it.
+	Returns []ReturnSite
+	// Defers are the defer statements in lexical order; they run (in
+	// reverse order) on every path into Exit.
+	Defers []*ast.DeferStmt
+	// Panics are the blocks that transfer to Exit through a terminating
+	// call (panic, os.Exit, ...) rather than a return or fall-off.
+	Panics []*Block
+}
+
+// ReturnSite is one explicit return statement and its enclosing block.
+type ReturnSite struct {
+	Stmt  *ast.ReturnStmt
+	Block *Block
+}
+
+// Inspect walks one CFG block node the way ast.Inspect would, except
+// that a *ast.RangeStmt — which a loop-head block stores to represent
+// its range-expression evaluation and key/value assignment — only
+// contributes those header parts. The range body lives in its own
+// blocks; descending into it from the head node would replay body
+// statements against the head's dataflow state. Analyzers walking
+// Block.Nodes must use this instead of ast.Inspect.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	r, ok := n.(*ast.RangeStmt)
+	if !ok {
+		ast.Inspect(n, f)
+		return
+	}
+	if !f(r) {
+		return
+	}
+	if r.Key != nil {
+		ast.Inspect(r.Key, f)
+	}
+	if r.Value != nil {
+		ast.Inspect(r.Value, f)
+	}
+	ast.Inspect(r.X, f)
+}
+
+// New builds the control-flow graph for a function body. A nil body
+// (declaration without definition) yields a graph with only Entry and
+// Exit connected.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{Index: -1} // re-indexed in finish
+	cur := b.g.Entry
+	if body != nil {
+		cur = b.stmtList(body.List, cur)
+	}
+	if cur != nil {
+		b.edge(cur, b.g.Exit, nil, false)
+	}
+	b.finish()
+	return b.g
+}
+
+type loopFrame struct {
+	label string
+	brk   *Block // break target (loop/switch join)
+	cont  *Block // continue target; nil inside switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// nextLabel is set when a LabeledStmt is being built, so the inner
+	// loop/switch registers the label as its own break/continue frame.
+	nextLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, branch bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Branch: branch}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// finish appends Exit to Blocks and resolves pending gotos. A goto to a
+// label the builder never saw (malformed input) falls through to Exit
+// so the graph stays well formed.
+func (b *builder) finish() {
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	for _, pg := range b.gotos {
+		to := b.labels[pg.label]
+		if to == nil {
+			to = b.g.Exit
+		}
+		b.edge(pg.from, to, nil, false)
+	}
+}
+
+// stmtList builds a statement sequence starting in cur and returns the
+// block where control continues, or nil when every path terminated.
+// Statements after a terminator still get (unreachable) blocks so every
+// AST node appears in exactly one block.
+func (b *builder) stmtList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			cur = b.newBlock() // unreachable: no predecessors
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so backward gotos and labeled
+		// break/continue have a join point to target.
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = head
+		b.nextLabel = s.Label.Name
+		next := b.stmt(s.Stmt, head)
+		b.nextLabel = ""
+		return next
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.g.Returns = append(b.g.Returns, ReturnSite{Stmt: s, Block: cur})
+		b.edge(cur, b.g.Exit, nil, false)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(label); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.CONTINUE:
+			if t := b.continueTarget(label); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: label})
+		case token.FALLTHROUGH:
+			// Handled by the switch builder: the case body's trailing
+			// block is linked to the next clause there. Mark the block
+			// as continuing so switchStmt sees a live tail.
+			return cur
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then, s.Cond, true)
+		if end := b.stmtList(s.Body.List, then); end != nil {
+			b.edge(end, join, nil, false)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els, s.Cond, false)
+			if end := b.stmt(s.Else, els); end != nil {
+				b.edge(end, join, nil, false)
+			}
+		} else {
+			b.edge(cur, join, s.Cond, false)
+		}
+		if len(join.Preds) == 0 {
+			return nil
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		join := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, join, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		// continue targets the post statement when there is one, so the
+		// post block is built first and the body linked to it.
+		contTarget := head
+		if s.Post != nil {
+			post := b.newBlock()
+			end := b.stmt(s.Post, post)
+			b.edge(end, head, nil, false)
+			contTarget = post
+		}
+		b.pushFrame(join, contTarget)
+		if end := b.stmtList(s.Body.List, body); end != nil {
+			b.edge(end, contTarget, nil, false)
+		}
+		b.popFrame()
+		if s.Cond == nil && len(join.Preds) == 0 {
+			return nil // for{} with no break never falls through
+		}
+		return join
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		head.Nodes = append(head.Nodes, s)
+		join := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, join, nil, false)
+		b.pushFrame(join, head)
+		if end := b.stmtList(s.Body.List, body); end != nil {
+			b.edge(end, head, nil, false)
+		}
+		b.popFrame()
+		return join
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s.Init, s.Tag, nil, s.Body, cur)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s.Init, nil, s.Assign, s.Body, cur)
+
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		b.pushFrame(join, nil)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			body := b.newBlock()
+			b.edge(cur, body, nil, false)
+			if cc.Comm != nil {
+				body.Nodes = append(body.Nodes, cc.Comm)
+			}
+			if end := b.stmtList(cc.Body, body); end != nil {
+				b.edge(end, join, nil, false)
+			}
+		}
+		b.popFrame()
+		if len(s.Body.List) == 0 {
+			// Empty select blocks forever.
+			cur.Nodes = append(cur.Nodes, s)
+			return nil
+		}
+		if len(join.Preds) == 0 {
+			return nil
+		}
+		return join
+
+	case *ast.DeferStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminatingCall(call) {
+			b.g.Panics = append(b.g.Panics, cur)
+			b.edge(cur, b.g.Exit, nil, false)
+			return nil
+		}
+		return cur
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// Assign, IncDec, Decl, Send, Go: straight-line.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchStmt builds expression and type switches. tag is the switch tag
+// (nil for tagless and type switches); assign is the type-switch assign
+// statement.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, cur *Block) *Block {
+	if init != nil {
+		cur = b.stmt(init, cur)
+	}
+	if tag != nil {
+		cur.Nodes = append(cur.Nodes, tag)
+	}
+	if assign != nil {
+		cur.Nodes = append(cur.Nodes, assign)
+	}
+	join := b.newBlock()
+	b.pushFrame(join, nil)
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// In a tagless switch a single-expression case behaves like an
+		// if-condition: the clause body runs exactly when it is true.
+		var cond ast.Expr
+		if tag == nil && assign == nil && len(cc.List) == 1 {
+			cond = cc.List[0]
+			cur.Nodes = append(cur.Nodes, cond)
+		}
+		b.edge(cur, blocks[i], cond, true)
+		end := b.stmtList(cc.Body, blocks[i])
+		if end != nil {
+			if ft := fallsThrough(cc.Body); ft && i+1 < len(clauses) {
+				b.edge(end, blocks[i+1], nil, false)
+			} else {
+				b.edge(end, join, nil, false)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, join, nil, false)
+	}
+	b.popFrame()
+	if len(join.Preds) == 0 {
+		return nil
+	}
+	return join
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) pushFrame(brk, cont *Block) {
+	b.frames = append(b.frames, loopFrame{label: b.nextLabel, brk: brk, cont: cont})
+	b.nextLabel = ""
+}
+
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+func (b *builder) breakTarget(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if label == "" || b.frames[i].label == label {
+			return b.frames[i].brk
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].cont == nil {
+			continue // switch/select frames cannot be continued
+		}
+		if label == "" || b.frames[i].label == label {
+			return b.frames[i].cont
+		}
+	}
+	return nil
+}
+
+// isTerminatingCall recognises calls that never return: panic and the
+// handful of stdlib terminators that matter for analysis precision.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

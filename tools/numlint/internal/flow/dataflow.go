@@ -1,0 +1,72 @@
+package flow
+
+// Forward is a generic forward dataflow problem over a Graph. The
+// state type S is analysis-defined; the solver iterates a worklist to a
+// fixpoint, so Meet/Transfer/EdgeFn must be monotone for termination.
+//
+// States propagate along edges: the input of a block is the meet over
+// its predecessors of EdgeFn(edge, Transfer(block-in of pred)). Blocks
+// never reached from Entry keep no state, which analyses observe as
+// "unreachable" (In returns ok=false).
+type Forward[S any] struct {
+	// Entry is the state on function entry.
+	Entry S
+	// Meet combines the states of two incoming edges; it must be
+	// commutative and associative (typically set intersection for
+	// must-facts, union for may-facts).
+	Meet func(a, b S) S
+	// Transfer pushes a state through one block's Nodes.
+	Transfer func(b *Block, in S) S
+	// EdgeFn, when non-nil, refines the source block's output state for
+	// one specific edge (e.g. adds branch-condition facts).
+	EdgeFn func(e *Edge, out S) S
+	// Equal detects the fixpoint.
+	Equal func(a, b S) bool
+}
+
+// Solution holds the per-block input states of a solved problem.
+type Solution[S any] struct {
+	problem *Forward[S]
+	in      map[*Block]S
+}
+
+// Solve runs the worklist algorithm and returns the per-block input
+// states.
+func (f *Forward[S]) Solve(g *Graph) *Solution[S] {
+	sol := &Solution[S]{problem: f, in: map[*Block]S{}}
+	sol.in[g.Entry] = f.Entry
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := f.Transfer(blk, sol.in[blk])
+		for _, e := range blk.Succs {
+			next := out
+			if f.EdgeFn != nil {
+				next = f.EdgeFn(e, out)
+			}
+			old, seen := sol.in[e.To]
+			if seen {
+				next = f.Meet(old, next)
+				if f.Equal(old, next) {
+					continue
+				}
+			}
+			sol.in[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return sol
+}
+
+// In returns the solved input state of a block; ok is false when the
+// block is unreachable from Entry.
+func (s *Solution[S]) In(b *Block) (S, bool) {
+	st, ok := s.in[b]
+	return st, ok
+}

@@ -1,0 +1,305 @@
+package flow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Pred is a predicate a guard can establish about a variable.
+type Pred uint8
+
+const (
+	// NonZero: the variable compared unequal to zero.
+	NonZero Pred = iota
+	// Positive: strictly greater than zero (implies NonZero and
+	// NonNegative).
+	Positive
+	// NonNegative: greater than or equal to zero.
+	NonNegative
+)
+
+func (p Pred) String() string {
+	switch p {
+	case NonZero:
+		return "nonzero"
+	case Positive:
+		return "positive"
+	case NonNegative:
+		return "nonnegative"
+	}
+	return "unknown"
+}
+
+// Fact states that a predicate holds for one variable.
+type Fact struct {
+	Obj types.Object
+	P   Pred
+}
+
+// Facts is a set of facts that hold on every path reaching a point.
+type Facts map[Fact]bool
+
+// Has reports whether the set establishes pred for obj, honouring
+// implications: Positive satisfies NonZero and NonNegative queries.
+func (f Facts) Has(obj types.Object, pred Pred) bool {
+	if f[Fact{obj, pred}] {
+		return true
+	}
+	if pred == NonZero || pred == NonNegative {
+		return f[Fact{obj, Positive}]
+	}
+	return false
+}
+
+func (f Facts) clone() Facts {
+	out := make(Facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectFacts(a, b Facts) Facts {
+	out := Facts{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalFacts(a, b Facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CondFacts returns the facts established by cond evaluating to branch,
+// decomposing short-circuit operators: `a && b` true establishes both
+// sides' facts, `a || b` false establishes both sides' negated facts,
+// and `!x` swaps the branch. Comparisons against constants yield
+// sign facts for plain identifier operands.
+func CondFacts(info *types.Info, cond ast.Expr, branch bool) Facts {
+	out := Facts{}
+	condFactsInto(info, cond, branch, out)
+	return out
+}
+
+func condFactsInto(info *types.Info, cond ast.Expr, branch bool, out Facts) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			condFactsInto(info, e.X, !branch, out)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if branch {
+				condFactsInto(info, e.X, true, out)
+				condFactsInto(info, e.Y, true, out)
+			}
+		case token.LOR:
+			if !branch {
+				condFactsInto(info, e.X, false, out)
+				condFactsInto(info, e.Y, false, out)
+			}
+		default:
+			comparisonFacts(info, e, branch, out)
+		}
+	}
+}
+
+// comparisonFacts derives sign facts from `ident OP const` (and the
+// mirrored `const OP ident`) comparisons.
+func comparisonFacts(info *types.Info, e *ast.BinaryExpr, branch bool, out Facts) {
+	op := e.Op
+	obj, c := identAndConst(info, e.X, e.Y)
+	if obj == nil {
+		// Mirror: `0 < x` is `x > 0`.
+		obj, c = identAndConst(info, e.Y, e.X)
+		if obj == nil {
+			return
+		}
+		switch op {
+		case token.LSS:
+			op = token.GTR
+		case token.LEQ:
+			op = token.GEQ
+		case token.GTR:
+			op = token.LSS
+		case token.GEQ:
+			op = token.LEQ
+		}
+	}
+	sign := constant.Sign(c)
+	add := func(p Pred) { out[Fact{obj, p}] = true }
+	if branch {
+		switch {
+		case op == token.GTR && sign >= 0: // x > c with c >= 0
+			add(Positive)
+		case op == token.GEQ && sign == 0: // x >= 0
+			add(NonNegative)
+		case op == token.GEQ && sign > 0: // x >= c, c > 0
+			add(Positive)
+		case op == token.NEQ && sign == 0: // x != 0
+			add(NonZero)
+		case op == token.EQL && sign > 0: // x == c, c > 0
+			add(Positive)
+		}
+		return
+	}
+	// branch == false: the comparison failed.
+	switch {
+	case op == token.EQL && sign == 0: // !(x == 0)
+		add(NonZero)
+	case op == token.LSS && sign == 0: // !(x < 0)
+		add(NonNegative)
+	case op == token.LSS && sign > 0: // !(x < c), c > 0 → x >= c
+		add(Positive)
+	case op == token.LEQ && sign == 0: // !(x <= 0)
+		add(Positive)
+	case op == token.LEQ && sign > 0: // !(x <= c) → x > c
+		add(Positive)
+	}
+}
+
+// identAndConst resolves (x, c) when x is a plain identifier and c a
+// numeric constant expression; nil otherwise.
+func identAndConst(info *types.Info, x, c ast.Expr) (types.Object, constant.Value) {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, nil
+	}
+	tv, ok := info.Types[c]
+	if !ok || tv.Value == nil {
+		return nil, nil
+	}
+	k := tv.Value.Kind()
+	if k != constant.Int && k != constant.Float {
+		return nil, nil
+	}
+	return obj, tv.Value
+}
+
+// AssignedObjects collects the objects (re)assigned by one statement —
+// the kill set of the guarded-fact transfer function. Address-taking is
+// treated as an assignment: once &x escapes, no guard on x is stable.
+func AssignedObjects(info *types.Info, n ast.Node) []types.Object {
+	var out []types.Object
+	addIdent := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out = append(out, obj)
+			} else if obj := info.Uses[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // separate frame
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				addIdent(lhs)
+			}
+		case *ast.IncDecStmt:
+			addIdent(s.X)
+		case *ast.RangeStmt:
+			addIdent(s.Key)
+			if s.Value != nil {
+				addIdent(s.Value)
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				addIdent(s.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// GuardFacts solves the guarded-fact problem for one function graph:
+// for every reachable block, the facts that hold on entry no matter
+// which path was taken.
+func GuardFacts(info *types.Info, g *Graph) *Solution[Facts] {
+	problem := &Forward[Facts]{
+		Entry: Facts{},
+		Meet:  intersectFacts,
+		Equal: equalFacts,
+		Transfer: func(b *Block, in Facts) Facts {
+			out := in
+			cloned := false
+			for _, n := range b.Nodes {
+				for _, obj := range AssignedObjects(info, n) {
+					for f := range out {
+						if f.Obj == obj {
+							if !cloned {
+								out = out.clone()
+								cloned = true
+							}
+							delete(out, f)
+						}
+					}
+				}
+			}
+			return out
+		},
+		EdgeFn: func(e *Edge, out Facts) Facts {
+			if e.Cond == nil {
+				return out
+			}
+			extra := CondFacts(info, e.Cond, e.Branch)
+			if len(extra) == 0 {
+				return out
+			}
+			merged := out.clone()
+			for f := range extra {
+				merged[f] = true
+			}
+			return merged
+		},
+	}
+	return problem.Solve(g)
+}
+
+// FactsAt returns the facts holding immediately before node occurrence
+// idx of block b, given the solved block-entry facts: the entry facts
+// minus everything killed by the preceding nodes of the block.
+// Unreachable blocks yield (nil, false).
+func FactsAt(info *types.Info, sol *Solution[Facts], b *Block, idx int) (Facts, bool) {
+	in, ok := sol.In(b)
+	if !ok {
+		return nil, false
+	}
+	out := in
+	cloned := false
+	for i := 0; i < idx && i < len(b.Nodes); i++ {
+		for _, obj := range AssignedObjects(info, b.Nodes[i]) {
+			for f := range out {
+				if f.Obj == obj {
+					if !cloned {
+						out = out.clone()
+						cloned = true
+					}
+					delete(out, f)
+				}
+			}
+		}
+	}
+	return out, true
+}

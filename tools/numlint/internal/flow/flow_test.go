@@ -1,0 +1,458 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and type-checks one source file.
+func typecheck(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+// graphFor builds the CFG of the named function.
+func graphFor(t *testing.T, f *ast.File, name string) *Graph {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// probeFacts locates every `probe(x)` call in the solved graph and
+// returns the facts holding for x at each call, keyed by the probe's
+// string literal tag when present: probe(x, "tag").
+func probeFacts(t *testing.T, info *types.Info, g *Graph) map[string]struct {
+	Obj   types.Object
+	Facts Facts
+	Live  bool
+} {
+	t.Helper()
+	sol := GuardFacts(info, g)
+	out := map[string]struct {
+		Obj   types.Object
+		Facts Facts
+		Live  bool
+	}{}
+	n := 0
+	for _, b := range g.Blocks {
+		for idx, node := range b.Nodes {
+			ast.Inspect(node, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "probe" || len(call.Args) == 0 {
+					return true
+				}
+				arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					t.Fatalf("probe arg must be an identifier")
+				}
+				tag := fmt.Sprintf("#%d", n)
+				n++
+				if len(call.Args) > 1 {
+					if lit, ok := call.Args[1].(*ast.BasicLit); ok {
+						tag = lit.Value[1 : len(lit.Value)-1]
+					}
+				}
+				facts, live := FactsAt(info, sol, b, idx)
+				out[tag] = struct {
+					Obj   types.Object
+					Facts Facts
+					Live  bool
+				}{info.Uses[arg], facts, live}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+const factSrc = `package p
+
+func probe(x float64, tag ...string) {}
+
+func branches(x float64) float64 {
+	if x > 0 {
+		probe(x, "then")
+	} else {
+		probe(x, "else")
+	}
+	probe(x, "join")
+	if x == 0 {
+		return 0
+	}
+	probe(x, "after-guard")
+	return 1 / x
+}
+
+func shortCircuit(a, b float64) {
+	if a > 0 && b != 0 {
+		probe(a, "and-a")
+		probe(b, "and-b")
+	}
+	if a <= 0 || b == 0 {
+		probe(a, "or-then")
+		return
+	}
+	probe(a, "or-else-a")
+	probe(b, "or-else-b")
+}
+
+func negation(x float64) {
+	if !(x <= 0) {
+		probe(x, "not")
+	}
+}
+
+func loops(x float64) {
+	for x > 0 {
+		probe(x, "loop-body")
+		x = x - 1
+	}
+	probe(x, "loop-exit")
+	for i := 0; i < 10; i++ {
+		if x == 0 {
+			continue
+		}
+		probe(x, "loop-guarded")
+	}
+}
+
+func killed(x float64) {
+	if x > 0 {
+		probe(x, "before-kill")
+		x = -1
+		probe(x, "after-kill")
+	}
+}
+
+func tagless(x float64) {
+	switch {
+	case x > 0:
+		probe(x, "case-pos")
+	default:
+		probe(x, "case-default")
+	}
+}
+
+func earlyReturn(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	probe(x, "post-early-return")
+	return 1 / x
+}
+
+func unreachable(x float64) {
+	return
+	probe(x, "dead") //nolint
+}
+`
+
+func TestGuardFacts(t *testing.T) {
+	_, f, info := typecheck(t, factSrc)
+	cases := []struct {
+		fn, tag string
+		pred    Pred
+		want    bool
+	}{
+		{"branches", "then", Positive, true},
+		{"branches", "then", NonZero, true}, // implication
+		{"branches", "else", Positive, false},
+		{"branches", "join", Positive, false}, // meet over both branches
+		{"branches", "after-guard", NonZero, true},
+		{"branches", "after-guard", Positive, false},
+		{"shortCircuit", "and-a", Positive, true},
+		{"shortCircuit", "and-b", NonZero, true},
+		{"shortCircuit", "or-then", Positive, false},
+		{"shortCircuit", "or-else-a", Positive, true}, // !(a<=0)
+		{"shortCircuit", "or-else-b", NonZero, true},  // !(b==0)
+		{"negation", "not", Positive, true},
+		{"loops", "loop-body", Positive, true},
+		{"loops", "loop-exit", Positive, false},
+		{"loops", "loop-guarded", NonZero, true}, // continue-guard dominates
+		{"killed", "before-kill", Positive, true},
+		{"killed", "after-kill", Positive, false},
+		{"tagless", "case-pos", Positive, true},
+		{"tagless", "case-default", Positive, false},
+		{"earlyReturn", "post-early-return", Positive, true},
+	}
+	graphs := map[string]map[string]struct {
+		Obj   types.Object
+		Facts Facts
+		Live  bool
+	}{}
+	for _, c := range cases {
+		probes, ok := graphs[c.fn]
+		if !ok {
+			probes = probeFacts(t, info, graphFor(t, f, c.fn))
+			graphs[c.fn] = probes
+		}
+		p, ok := probes[c.tag]
+		if !ok {
+			t.Errorf("%s: no probe %q", c.fn, c.tag)
+			continue
+		}
+		if !p.Live {
+			t.Errorf("%s/%s: probe unreachable", c.fn, c.tag)
+			continue
+		}
+		if got := p.Facts.Has(p.Obj, c.pred); got != c.want {
+			t.Errorf("%s/%s: Has(%s, %v) = %v, want %v (facts %v)",
+				c.fn, c.tag, p.Obj.Name(), c.pred, got, c.want, p.Facts)
+		}
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	_, f, info := typecheck(t, factSrc)
+	probes := probeFacts(t, info, graphFor(t, f, "unreachable"))
+	p, ok := probes["dead"]
+	if !ok {
+		t.Fatal("no probe \"dead\"")
+	}
+	if p.Live {
+		t.Error("statement after return reported reachable")
+	}
+}
+
+const cfgSrc = `package p
+
+import "sync"
+
+func simple() int {
+	x := 1
+	return x
+}
+
+func twoReturns(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}
+
+func deferred(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	if mu == nil {
+		return
+	}
+}
+
+func switchFall(x int) int {
+	switch x {
+	case 0:
+		x++
+		fallthrough
+	case 1:
+		return x
+	}
+	return -1
+}
+
+func forever() {
+	for {
+	}
+}
+
+func panics(c bool) int {
+	if c {
+		panic("no")
+	}
+	return 1
+}
+
+func labeled() int {
+	n := 0
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 2 {
+				continue outer
+			}
+			if i == 2 {
+				break outer
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func gotos(x int) int {
+	if x > 0 {
+		goto done
+	}
+	x = -x
+done:
+	return x
+}
+
+func selects(ch chan int, done chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}
+`
+
+func TestCFGStructure(t *testing.T) {
+	_, f, _ := typecheck(t, cfgSrc)
+	cases := []struct {
+		fn      string
+		returns int
+		defers  int
+		// exitReachable: the synthetic Exit has at least one predecessor.
+		exitReachable bool
+	}{
+		{"simple", 1, 0, true},
+		{"twoReturns", 2, 0, true},
+		{"deferred", 1, 1, true},
+		{"switchFall", 2, 0, true},
+		{"forever", 0, 0, false},
+		{"panics", 1, 0, true},
+		{"labeled", 1, 0, true},
+		{"gotos", 1, 0, true},
+		{"selects", 2, 0, true},
+	}
+	for _, c := range cases {
+		g := graphFor(t, f, c.fn)
+		if got := len(g.Returns); got != c.returns {
+			t.Errorf("%s: %d returns, want %d", c.fn, got, c.returns)
+		}
+		if got := len(g.Defers); got != c.defers {
+			t.Errorf("%s: %d defers, want %d", c.fn, got, c.defers)
+		}
+		if got := len(g.Exit.Preds) > 0; got != c.exitReachable {
+			t.Errorf("%s: exit reachable = %v, want %v", c.fn, got, c.exitReachable)
+		}
+		// Every block's edges must be mutually linked.
+		for _, b := range g.Blocks {
+			for _, e := range b.Succs {
+				if e.From != b {
+					t.Errorf("%s: edge From mismatch", c.fn)
+				}
+				found := false
+				for _, p := range e.To.Preds {
+					if p == e {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: edge not registered in Preds", c.fn)
+				}
+			}
+		}
+	}
+}
+
+// TestReachingDefinitions exercises the generic solver with a second
+// lattice (may-analysis with union meet) to show Forward is not tied to
+// guard facts: which assignments of x can reach the probe?
+func TestReachingDefinitions(t *testing.T) {
+	src := `package p
+func probe(x int) {}
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	}
+	probe(x)
+}
+`
+	_, f, info := typecheck(t, src)
+	g := graphFor(t, f, "f")
+
+	// State: set of line numbers whose assignment to x may reach.
+	union := func(a, b map[ast.Node]bool) map[ast.Node]bool {
+		out := map[ast.Node]bool{}
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	problem := &Forward[map[ast.Node]bool]{
+		Entry: map[ast.Node]bool{},
+		Meet:  union,
+		Equal: func(a, b map[ast.Node]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in map[ast.Node]bool) map[ast.Node]bool {
+			out := in
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					out = map[ast.Node]bool{as: true} // kill all, gen this
+				}
+			}
+			return out
+		},
+	}
+	sol := problem.Solve(g)
+
+	// Find the probe's block.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "probe" {
+				continue
+			}
+			in, live := sol.In(b)
+			if !live {
+				t.Fatal("probe unreachable")
+			}
+			if len(in) != 2 {
+				t.Fatalf("got %d reaching definitions, want 2", len(in))
+			}
+			_ = info
+			return
+		}
+	}
+	t.Fatal("probe not found")
+}

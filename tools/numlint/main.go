@@ -1,24 +1,44 @@
-// Command numlint is the repository's numeric-safety linter.
+// Command numlint is the repository's numeric-safety and dataflow
+// linter.
 //
-// It runs four custom analyzers tuned to the battery-lifetime pipeline
-// over module-local packages:
+// It runs nine custom analyzers tuned to the battery-lifetime pipeline
+// over module-local packages. Four are the per-expression checks from
+// PR 1:
 //
-//	floatcmp     ==/!= on floats outside exact-sentinel comparisons
-//	naninf       unguarded division / Log / Sqrt of parameters in float kernels
-//	errchecklite dropped error returns from module-local functions
-//	unitsafety   raw numeric literals passed as internal/units quantities
+//	floatcmp      ==/!= on floats outside exact-sentinel comparisons
+//	naninf        unguarded division / Log / Sqrt of parameters in float kernels
+//	errchecklite  dropped error returns from module-local functions
+//	unitsafety    raw numeric literals passed as internal/units quantities
+//
+// Five are dataflow analyzers built on the CFG engine in
+// internal/flow (see docs/STATIC_ANALYSIS.md):
+//
+//	divguard      division/Log/Sqrt with no *dominating* positivity guard
+//	probconserve  probability-vector writes reaching a return unguarded
+//	ctxflow       calls that drop an in-scope context.Context
+//	sharedcapture unsynchronised goroutine mutation + unbalanced lock paths
+//	hotalloc      allocations inside //numlint:hotpath functions
 //
 // Usage:
 //
 //	go run ./tools/numlint ./...
+//	go run ./tools/numlint -pkgs ./internal/...,./cmd/... -json
+//	go run ./tools/numlint -baseline .numlint-baseline.json ./...
+//	go run ./tools/numlint -write-baseline .numlint-baseline.json ./...
 //	go run ./tools/numlint -tags debugchecks ./internal/check
+//
+// With no package arguments the whole module is analyzed (every
+// package under the module root, including cmd/ and tools/),
+// regardless of the current directory.
 //
 // Findings are suppressed with a trailing or preceding comment:
 //
 //	//numlint:ignore <analyzer> <reason>
 //
-// Exit status: 0 clean, 1 findings, 2 load or usage errors. See
-// docs/DEVELOPING.md for the full contract.
+// or accepted wholesale in .numlint-baseline.json (see -baseline).
+// Exit status: 0 clean (or all findings baselined), 1 new findings,
+// 2 load or usage errors. See docs/STATIC_ANALYSIS.md for the full
+// contract.
 package main
 
 import (
@@ -33,6 +53,11 @@ var analyzers = []*Analyzer{
 	naninfAnalyzer,
 	errcheckliteAnalyzer,
 	unitsafetyAnalyzer,
+	divguardAnalyzer,
+	probconserveAnalyzer,
+	ctxflowAnalyzer,
+	sharedcaptureAnalyzer,
+	hotallocAnalyzer,
 }
 
 func main() {
@@ -44,8 +69,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	tags := fs.String("tags", "", "comma-separated extra build tags")
 	verbose := fs.Bool("v", false, "log packages as they are analyzed")
+	pkgsFlag := fs.String("pkgs", "", "comma-separated package patterns (combined with positional patterns)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	baselinePath := fs.String("baseline", "", "baseline file; findings matching it do not fail the run")
+	writeBaselinePath := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: numlint [-tags tag,...] [-v] packages...")
+		fmt.Fprintln(stderr, "usage: numlint [-tags tag,...] [-pkgs p1,p2] [-json] [-baseline file] [-write-baseline file] [-v] [packages...]")
 		fmt.Fprintln(stderr, "analyzers:")
 		for _, a := range analyzers {
 			fmt.Fprintf(stderr, "  %-13s %s\n", a.Name, a.Doc)
@@ -56,8 +85,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	if *pkgsFlag != "" {
+		for _, p := range strings.Split(*pkgsFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
 	}
 
 	cwd, err := os.Getwd()
@@ -69,6 +102,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if len(patterns) == 0 {
+		// Default: the whole module, independent of the working
+		// directory numlint happens to be invoked from.
+		patterns = []string{modPath + "/..."}
 	}
 	var tagList []string
 	if *tags != "" {
@@ -86,8 +124,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	exit := 0
-	total := 0
+	var diags []Diagnostic
 	for _, path := range paths {
 		if *verbose {
 			fmt.Fprintln(stderr, "numlint: analyzing", path)
@@ -97,17 +134,46 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		diags := runAnalyzers(pi, modPath)
-		for _, d := range diags {
+		diags = append(diags, runAnalyzers(pi, modPath)...)
+	}
+
+	if *writeBaselinePath != "" {
+		if err := writeBaseline(*writeBaselinePath, modDir, diags); err != nil {
+			fmt.Fprintln(stderr, "numlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "numlint: wrote %d finding(s) to %s\n", len(diags), *writeBaselinePath)
+		return 0
+	}
+
+	newFindings := diags
+	var accepted []Diagnostic
+	if *baselinePath != "" {
+		b, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		newFindings, accepted = filterBaseline(b, modDir, diags)
+	}
+
+	if *jsonOut {
+		if err := writeJSONReport(stdout, modDir, newFindings, accepted); err != nil {
+			fmt.Fprintln(stderr, "numlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range newFindings {
 			fmt.Fprintln(stdout, d)
 		}
-		total += len(diags)
-		if len(diags) > 0 {
-			exit = 1
-		}
 	}
-	if *verbose || exit != 0 {
-		fmt.Fprintf(stderr, "numlint: %d finding(s) in %d package(s)\n", total, len(paths))
+
+	if *verbose || len(newFindings) > 0 {
+		fmt.Fprintf(stderr, "numlint: %d new finding(s), %d baselined, %d package(s)\n",
+			len(newFindings), len(accepted), len(paths))
 	}
-	return exit
+	if len(newFindings) > 0 {
+		return 1
+	}
+	return 0
 }

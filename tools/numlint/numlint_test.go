@@ -83,6 +83,48 @@ func TestUnitsafetyFixture(t *testing.T) {
 	})
 }
 
+func TestDivguardFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "divguard"), []string{
+		"divguard:13", // x / d before the branch on d
+		"divguard:26", // x / d on the d <= 0 branch
+		"divguard:32", // math.Log(x) on the x < 0 branch
+	})
+}
+
+func TestProbconserveFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "probconserve"), []string{
+		"probconserve:15", // BuildUnguarded
+		"probconserve:46", // DirtiedAfterCheck
+		"probconserve:56", // HalfGuarded
+		"probconserve:62", // BareReturn
+	})
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "ctxflow"), []string{
+		"ctxflow:24", // solve(nil, n) with ctx in scope
+		"ctxflow:29", // context.Background() with ctx in scope
+	})
+}
+
+func TestSharedcaptureFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "sharedcapture"), []string{
+		"sharedcapture:16", // total++ with no lock
+		"sharedcapture:69", // out[next] shared index
+		"sharedcapture:70", // next++ with no lock
+		"sharedcapture:81", // return with mu held
+	})
+}
+
+func TestHotallocFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "hotalloc"), []string{
+		"hotalloc:22", // make
+		"hotalloc:24", // append
+		"hotalloc:33", // fmt.Sprintf
+		"hotalloc:40", // string concatenation
+	})
+}
+
 // TestRepoIsClean runs every analyzer over the whole module — the same
 // gate CI applies with `go run ./tools/numlint ./...` — so a finding
 // introduced anywhere in the tree fails the test suite too.

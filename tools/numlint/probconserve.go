@@ -1,0 +1,301 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"batlife/tools/numlint/internal/flow"
+)
+
+// probconserveAnalyzer enforces probability conservation on the solve
+// path: a function in a solve-path package that builds or mutates a
+// []float64 and returns it must, on every path from the last write to
+// the return, either pass the vector through a conservation guard —
+// internal/check.Probabilities / UnitInterval / NonNegative, or any
+// normalize-named function — or carry an explicit
+// //numlint:normalized <why> assertion on the return (or the function's
+// doc comment, covering every return).
+//
+// Uniformisation is only sound on normalized, non-negative vectors
+// (Fox–Glynn weights assume a distribution), so an unguarded write that
+// reaches a return is exactly the place a silent conservation bug
+// escapes into downstream solves.
+//
+// Scope: packages whose import path ends in one of the solve-path
+// segments below. Vectors returned untouched (pure pass-through) are
+// not flagged; neither are non-identifier returns, which the analysis
+// cannot track (keep returns of built vectors as plain identifiers).
+var probconserveAnalyzer = &Analyzer{
+	Name: "probconserve",
+	Doc:  "flag probability-vector writes that reach a return without a conservation guard",
+	Run:  runProbconserve,
+}
+
+// probconservePackages are the solve-path package segments in scope.
+// "probconserve" admits the analyzer's own testdata fixture.
+var probconservePackages = map[string]bool{
+	"ctmc":         true,
+	"foxglynn":     true,
+	"discretize":   true,
+	"core":         true,
+	"dist":         true,
+	"probconserve": true,
+}
+
+// pcState tracks, per tracked vector: written (may-written on some
+// path) and blessed (guarded on every path since the last write).
+type pcState struct {
+	written map[types.Object]bool
+	blessed map[types.Object]bool
+}
+
+func (s pcState) clone() pcState {
+	out := pcState{written: map[types.Object]bool{}, blessed: map[types.Object]bool{}}
+	for k := range s.written {
+		out.written[k] = true
+	}
+	for k := range s.blessed {
+		out.blessed[k] = true
+	}
+	return out
+}
+
+func runProbconserve(pass *Pass) {
+	seg := pass.Pkg.Path()
+	if i := strings.LastIndex(seg, "/"); i >= 0 {
+		seg = seg[i+1:]
+	}
+	if !probconservePackages[seg] {
+		return
+	}
+	normalized := lineDirectives(pass.Fset, pass.Files, "normalized")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkProbFunc(pass, fd, normalized)
+		}
+	}
+}
+
+// floatSliceResults returns the named result objects of type []float64;
+// ok reports whether the function has any []float64 result at all.
+func floatSliceResults(pass *Pass, fd *ast.FuncDecl) (named map[types.Object]bool, ok bool) {
+	if fd.Type.Results == nil {
+		return nil, false
+	}
+	named = map[types.Object]bool{}
+	for _, res := range fd.Type.Results.List {
+		t := pass.Info.Types[res.Type].Type
+		if !isFloatSlice(t) {
+			continue
+		}
+		ok = true
+		for _, name := range res.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				named[obj] = true
+			}
+		}
+	}
+	return named, ok
+}
+
+func isFloatSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	return ok && isFloat(sl.Elem())
+}
+
+func checkProbFunc(pass *Pass, fd *ast.FuncDecl, normalized map[string]map[int]bool) {
+	namedResults, returnsVec := floatSliceResults(pass, fd)
+	if !returnsVec || funcDirective(fd, "normalized") {
+		return
+	}
+	g := flow.New(fd.Body)
+	step := func(s pcState, n ast.Node) pcState { return probStep(pass, s, n) }
+	problem := &flow.Forward[pcState]{
+		Entry: pcState{written: map[types.Object]bool{}, blessed: map[types.Object]bool{}},
+		Meet: func(a, b pcState) pcState {
+			out := pcState{written: map[types.Object]bool{}, blessed: map[types.Object]bool{}}
+			for k := range a.written {
+				out.written[k] = true
+			}
+			for k := range b.written {
+				out.written[k] = true
+			}
+			for k := range a.blessed {
+				if b.blessed[k] {
+					out.blessed[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b pcState) bool {
+			return equalObjSet(a.written, b.written) && equalObjSet(a.blessed, b.blessed)
+		},
+		Transfer: func(b *flow.Block, in pcState) pcState {
+			out := in
+			for _, n := range b.Nodes {
+				out = step(out, n)
+			}
+			return out
+		},
+	}
+	sol := problem.Solve(g)
+
+	for _, site := range g.Returns {
+		in, reachable := sol.In(site.Block)
+		if !reachable {
+			continue
+		}
+		// Replay the block up to the return statement.
+		state := in
+		for _, n := range site.Block.Nodes {
+			if n == site.Stmt {
+				break
+			}
+			state = step(state, n)
+		}
+		if markedAt(normalized, pass.Fset, site.Stmt.Pos()) {
+			continue
+		}
+		report := func(obj types.Object) {
+			pass.Reportf(site.Stmt.Pos(),
+				"probability vector %s can reach this return after a write with no conservation guard (check.Probabilities/NonNegative, a normalize call, or //numlint:normalized <why>)",
+				obj.Name())
+		}
+		if len(site.Stmt.Results) == 0 {
+			// Bare return: named []float64 results are the vectors.
+			for obj := range namedResults {
+				if state.written[obj] && !state.blessed[obj] {
+					report(obj)
+				}
+			}
+			continue
+		}
+		for _, res := range site.Stmt.Results {
+			id, ok := ast.Unparen(res).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !isFloatSlice(obj.Type()) {
+				continue
+			}
+			if state.written[obj] && !state.blessed[obj] {
+				report(obj)
+			}
+		}
+	}
+}
+
+// probStep is the transfer function for one statement: blessing calls
+// first (so `v = normalize(v)` blesses), then writes, which dirty the
+// vector and revoke any earlier blessing.
+func probStep(pass *Pass, s pcState, n ast.Node) pcState {
+	out := s
+	cloned := false
+	mutate := func() {
+		if !cloned {
+			out = out.clone()
+			cloned = true
+		}
+	}
+	bless := func(obj types.Object) {
+		mutate()
+		out.blessed[obj] = true
+	}
+	write := func(obj types.Object) {
+		mutate()
+		out.written[obj] = true
+		delete(out.blessed, obj)
+	}
+	flow.Inspect(n, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isConservationGuard(pass, e) {
+				for _, arg := range e.Args {
+					if obj := sliceIdent(pass, arg); obj != nil {
+						bless(obj)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Blessing assignment: v = normalize(v).
+			rhsBless := len(e.Rhs) == 1 && isNormalizeCall(pass, e.Rhs[0])
+			for _, lhs := range e.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if obj := pass.Info.Uses[l]; obj != nil && isFloatSlice(obj.Type()) {
+						if rhsBless {
+							bless(obj)
+						} else {
+							write(obj)
+						}
+					} else if obj := pass.Info.Defs[l]; obj != nil && isFloatSlice(obj.Type()) {
+						if rhsBless {
+							bless(obj)
+						} else {
+							write(obj)
+						}
+					}
+				case *ast.IndexExpr:
+					if obj := sliceIdent(pass, l.X); obj != nil {
+						write(obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isConservationGuard recognises the internal/check conservation
+// asserts and normalize-named callees.
+func isConservationGuard(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "/check") {
+		switch fn.Name() {
+		case "Probabilities", "UnitInterval", "NonNegative":
+			return true
+		}
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "normali")
+}
+
+func isNormalizeCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isConservationGuard(pass, call)
+}
+
+func sliceIdent(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !isFloatSlice(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func equalObjSet(a, b map[types.Object]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,456 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"batlife/tools/numlint/internal/flow"
+)
+
+// sharedcaptureAnalyzer covers the concurrency surface the parallel
+// solver grew in PRs 3–4 (Sweep workers, engine singleflight, obs
+// histograms) with two path-sensitive checks:
+//
+//  1. shared capture: a `go func(){...}()` literal that mutates a
+//     variable captured from the enclosing function — whole-variable
+//     assignment, field write, map write, or a slice-element write
+//     whose index is itself shared — must hold a sync lock that
+//     dominates the write. Slice writes indexed by a literal-local or
+//     per-iteration loop variable are the sharded-worker idiom and are
+//     not flagged.
+//
+//  2. lock balance: on every path from a mu.Lock()/RLock() to a
+//     return, a matching Unlock()/RUnlock() — inline or deferred —
+//     must appear; a path that can exit with the lock held deadlocks
+//     the next caller.
+//
+// Reads of captured loop variables are deliberately not flagged: with
+// go1.22 per-iteration loop-variable semantics (this module's go
+// directive) each goroutine observes its own copy.
+var sharedcaptureAnalyzer = &Analyzer{
+	Name: "sharedcapture",
+	Doc:  "flag unsynchronised shared-state mutation in goroutine literals and unbalanced lock paths",
+	Run:  runSharedcapture,
+}
+
+func runSharedcapture(pass *Pass) {
+	for _, f := range pass.Files {
+		loopVars := collectLoopVars(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(pass, fd.Name.Name, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.GoStmt:
+					if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+						checkGoroutineCaptures(pass, lit, loopVars)
+					}
+				case *ast.FuncLit:
+					checkLockBalance(pass, "function literal", s.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// --- lock tracking -------------------------------------------------------
+
+// lockSet maps a lock key — the printed receiver expression, with "/R"
+// appended for read locks — to "held".
+type lockSet map[string]bool
+
+func cloneLocks(s lockSet) lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// lockCall classifies a call as a lock operation: key and acquire, or
+// key and release.
+func lockCall(call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", false, false
+	}
+	recv := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock":
+		return recv, true, true
+	case "RLock":
+		return recv + "/R", true, true
+	case "Unlock":
+		return recv, false, true
+	case "RUnlock":
+		return recv + "/R", false, true
+	}
+	return "", false, false
+}
+
+// lockStep applies one statement's lock operations to the set. Nested
+// function literals are separate frames (a deferred closure's Unlock is
+// handled via deferredUnlocks, not here).
+func lockStep(s lockSet, n ast.Node) lockSet {
+	out := s
+	cloned := false
+	flow.Inspect(n, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			key, acquire, ok := lockCall(e)
+			if !ok {
+				return true
+			}
+			if !cloned {
+				out = cloneLocks(out)
+				cloned = true
+			}
+			if acquire {
+				out[key] = true
+			} else {
+				delete(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deferredUnlocks collects the lock keys released by the graph's defer
+// statements, directly (defer mu.Unlock()) or inside a deferred
+// closure.
+func deferredUnlocks(g *flow.Graph) lockSet {
+	out := lockSet{}
+	add := func(call *ast.CallExpr) {
+		if key, acquire, ok := lockCall(call); ok && !acquire {
+			out[key] = true
+		}
+	}
+	for _, d := range g.Defers {
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					add(call)
+				}
+				return true
+			})
+			continue
+		}
+		add(d.Call)
+	}
+	return out
+}
+
+// solveLocks runs the lock dataflow over g. must selects the meet:
+// intersection (lock provably held) for write protection, union (lock
+// possibly held) for leak detection.
+func solveLocks(g *flow.Graph, must bool) *flow.Solution[lockSet] {
+	problem := &flow.Forward[lockSet]{
+		Entry: lockSet{},
+		Meet: func(a, b lockSet) lockSet {
+			out := lockSet{}
+			for k := range a {
+				if !must || b[k] {
+					out[k] = true
+				}
+			}
+			if !must {
+				for k := range b {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *flow.Block, in lockSet) lockSet {
+			out := in
+			for _, n := range b.Nodes {
+				out = lockStep(out, n)
+			}
+			return out
+		},
+	}
+	return problem.Solve(g)
+}
+
+// replayLocks returns the lock state immediately before node index idx
+// of block b.
+func replayLocks(sol *flow.Solution[lockSet], b *flow.Block, idx int) (lockSet, bool) {
+	in, ok := sol.In(b)
+	if !ok {
+		return nil, false
+	}
+	out := in
+	for i := 0; i < idx && i < len(b.Nodes); i++ {
+		out = lockStep(out, b.Nodes[i])
+	}
+	return out, true
+}
+
+// checkLockBalance reports returns reachable with a lock still held and
+// not discharged by a deferred unlock.
+func checkLockBalance(pass *Pass, name string, body *ast.BlockStmt) {
+	g := flow.New(body)
+	deferred := deferredUnlocks(g)
+	sol := solveLocks(g, false)
+	for _, site := range g.Returns {
+		state, reachable := replayLocks(sol, site.Block, indexOf(site.Block, site.Stmt))
+		if !reachable {
+			continue
+		}
+		for key := range state {
+			if deferred[key] {
+				continue
+			}
+			pass.Reportf(site.Stmt.Pos(),
+				"%s can return with %s still locked on some path (no Unlock or defer before this return)",
+				name, lockName(key))
+		}
+	}
+	// Fall-off-the-end exit: any predecessor edge into Exit that is not
+	// a return or terminator still runs the function epilogue.
+	for _, e := range g.Exit.Preds {
+		if isReturnBlockEdge(g, e) {
+			continue
+		}
+		state, reachable := replayLocks(sol, e.From, len(e.From.Nodes))
+		if !reachable {
+			continue
+		}
+		for key := range state {
+			if deferred[key] {
+				continue
+			}
+			pos := body.Rbrace
+			pass.Reportf(pos,
+				"%s can fall off the end with %s still locked on some path",
+				name, lockName(key))
+		}
+	}
+}
+
+func indexOf(b *flow.Block, n ast.Node) int {
+	for i, node := range b.Nodes {
+		if node == n {
+			return i
+		}
+	}
+	return len(b.Nodes)
+}
+
+// isReturnBlockEdge reports whether an Exit edge comes from a return
+// statement or a terminating call (panic, os.Exit — where the lock dies
+// with the goroutine anyway) rather than falling off the end.
+func isReturnBlockEdge(g *flow.Graph, e *flow.Edge) bool {
+	for _, site := range g.Returns {
+		if site.Block == e.From {
+			return true
+		}
+	}
+	for _, b := range g.Panics {
+		if b == e.From {
+			return true
+		}
+	}
+	return false
+}
+
+func lockName(key string) string {
+	if len(key) > 2 && key[len(key)-2:] == "/R" {
+		return key[:len(key)-2] + " (read lock)"
+	}
+	return key
+}
+
+// --- goroutine captures --------------------------------------------------
+
+// collectLoopVars gathers the per-iteration loop variables of a file:
+// for-init definitions and range key/value variables. Under go1.22
+// semantics each iteration gets a fresh instance, so goroutines indexing
+// a shared slice by such a variable write disjoint elements.
+func collectLoopVars(pass *Pass, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addDef := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addDef(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			addDef(s.Key)
+			addDef(s.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// checkGoroutineCaptures flags unsynchronised writes to captured state
+// inside one `go func(){...}()` literal.
+func checkGoroutineCaptures(pass *Pass, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	captured := func(id *ast.Ident) *types.Var {
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return nil
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return nil // declared inside the literal (params included)
+		}
+		return obj
+	}
+	g := flow.New(lit.Body)
+	sol := solveLocks(g, true)
+	for _, b := range g.Blocks {
+		for idx, node := range b.Nodes {
+			locks, reachable := replayLocks(sol, b, idx)
+			if !reachable {
+				continue
+			}
+			lockHeld := len(locks) > 0
+			flow.Inspect(node, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						checkCapturedWrite(pass, lit, lhs, s.Tok, captured, loopVars, lockHeld)
+					}
+				case *ast.IncDecStmt:
+					checkCapturedWrite(pass, lit, s.X, token.ASSIGN, captured, loopVars, lockHeld)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkCapturedWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, tok token.Token,
+	captured func(*ast.Ident) *types.Var, loopVars map[types.Object]bool, lockHeld bool) {
+	if tok == token.DEFINE || lockHeld {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := captured(l); obj != nil {
+			pass.Reportf(l.Pos(),
+				"goroutine assigns captured variable %s without holding a lock (shared-state race)",
+				obj.Name())
+		}
+	case *ast.SelectorExpr:
+		if root, ok := rootIdent(l.X); ok {
+			if obj := captured(root); obj != nil {
+				pass.Reportf(l.Pos(),
+					"goroutine writes field %s of captured %s without holding a lock",
+					l.Sel.Name, obj.Name())
+			}
+		}
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if obj := captured(id); obj != nil {
+				pass.Reportf(l.Pos(),
+					"goroutine writes through captured pointer %s without holding a lock",
+					obj.Name())
+			}
+		}
+	case *ast.IndexExpr:
+		id, ok := ast.Unparen(l.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := captured(id)
+		if obj == nil {
+			return
+		}
+		if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+			pass.Reportf(l.Pos(),
+				"goroutine writes captured map %s without a dominating Lock (concurrent map write)",
+				obj.Name())
+			return
+		}
+		// Slice element write: sharded-worker writes indexed by a
+		// literal-local or per-iteration loop variable are disjoint;
+		// an index that is itself shared captured state is not.
+		sharedIdx := sharedIndexVar(pass, lit, l.Index, loopVars)
+		if sharedIdx != nil {
+			pass.Reportf(l.Pos(),
+				"goroutine writes %s[%s] where the index is shared across goroutines",
+				obj.Name(), sharedIdx.Name())
+		}
+	}
+}
+
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// sharedIndexVar returns a variable referenced by the index expression
+// that is captured from outside the literal and is not a per-iteration
+// loop variable — i.e. an index whose value is shared across the
+// spawned goroutines.
+func sharedIndexVar(pass *Pass, lit *ast.FuncLit, index ast.Expr, loopVars map[types.Object]bool) *types.Var {
+	var found *types.Var
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found != nil {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // literal-local
+		}
+		if loopVars[obj] {
+			return true // per-iteration copy under go1.22
+		}
+		if _, isBasic := obj.Type().Underlying().(*types.Basic); !isBasic {
+			return true // only scalar indices matter
+		}
+		found = obj
+		return false
+	})
+	return found
+}

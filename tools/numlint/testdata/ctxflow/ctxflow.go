@@ -1,0 +1,47 @@
+// Package ctxflow is a numlint test fixture for the
+// context-propagation analyzer; see numlint_test.go for the expected
+// findings.
+package ctxflow
+
+import "context"
+
+// Options is the options-struct idiom: the context rides in a field.
+type Options struct {
+	Ctx context.Context
+}
+
+// solve is a module-local context-capable callee.
+func solve(ctx context.Context, n int) int {
+	if ctx != nil && ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// NilContext has a caller context in scope but threads nil instead,
+// severing the cancellation chain.
+func NilContext(ctx context.Context, n int) int {
+	return solve(nil, n) // want ctxflow (line 24)
+}
+
+// Minted discards the caller's context for a fresh root one.
+func Minted(ctx context.Context, n int) int {
+	return solve(context.Background(), n) // want ctxflow (line 29)
+}
+
+// Threaded passes the caller's context along.
+func Threaded(ctx context.Context, n int) int {
+	return solve(ctx, n)
+}
+
+// ThreadedStruct receives the context inside an options struct and
+// unpacks it for the callee.
+func ThreadedStruct(o Options, n int) int {
+	return solve(o.Ctx, n)
+}
+
+// NoContext has no context in scope, so calling with nil is the
+// caller's explicit choice, not a dropped chain.
+func NoContext(n int) int {
+	return solve(nil, n)
+}

@@ -1,0 +1,69 @@
+// Package divguard is a numlint test fixture for the path-sensitive
+// division/Log/Sqrt guard analyzer; see numlint_test.go for the
+// expected findings. Every dangerous parameter below appears in *some*
+// branch condition, so the syntactic naninf pass stays quiet — the
+// findings here are exactly the ones only dataflow can see.
+package divguard
+
+import "math"
+
+// LateGuard branches on d, but only after the division has already
+// happened: no guard dominates the use.
+func LateGuard(x, d float64) float64 {
+	r := x / d // want divguard (line 13)
+	if d > 0 {
+		r++
+	}
+	return r
+}
+
+// WrongBranch guards d on the path where the division does not run and
+// divides on the path where d may be zero.
+func WrongBranch(x, d float64) float64 {
+	if d > 0 {
+		return x
+	}
+	return x / d // want divguard (line 26)
+}
+
+// LogWrongSide takes the log exactly on the branch where x is negative.
+func LogWrongSide(x float64) float64 {
+	if x < 0 {
+		return math.Log(x) // want divguard (line 32)
+	}
+	return 0
+}
+
+// Dominated is clean: the early return dominates the division.
+func Dominated(x, d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return x / d
+}
+
+// ShortCircuit is clean: the && left operand guards the right one.
+func ShortCircuit(x float64) float64 {
+	if x > 0 && math.Log(x) > 1 {
+		return 2
+	}
+	return 0
+}
+
+// LoopGuarded is clean: the guard on d survives the loop back edge
+// because nothing in the loop assigns d.
+func LoopGuarded(xs []float64, d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x / d
+	}
+	return s
+}
+
+// Documented is clean by contract: d must be positive.
+func Documented(x, d float64) float64 {
+	return x / d
+}

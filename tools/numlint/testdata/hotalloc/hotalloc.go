@@ -1,0 +1,46 @@
+// Package hotalloc is a numlint test fixture for the hot-path
+// allocation analyzer; see numlint_test.go for the expected findings.
+package hotalloc
+
+import "fmt"
+
+// Sum is an annotated inner-loop kernel that stays allocation-free.
+//
+//numlint:hotpath
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Grow allocates twice inside an annotated kernel.
+//
+//numlint:hotpath
+func Grow(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs)) // want hotalloc (line 22)
+	for _, x := range xs {
+		out = append(out, x) // want hotalloc (line 24)
+	}
+	return out
+}
+
+// Label formats on the hot path, boxing through fmt's interfaces.
+//
+//numlint:hotpath
+func Label(n int) string {
+	return fmt.Sprintf("state-%d", n) // want hotalloc (line 33)
+}
+
+// Concat builds a string on the hot path.
+//
+//numlint:hotpath
+func Concat(a, b string) string {
+	return a + b // want hotalloc (line 40)
+}
+
+// Cold is unannotated: allocations here are nobody's business.
+func Cold(n int) []int {
+	return make([]int, n)
+}

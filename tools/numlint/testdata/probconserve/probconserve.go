@@ -1,0 +1,93 @@
+// Package probconserve is a numlint test fixture for the
+// probability-conservation analyzer; see numlint_test.go for the
+// expected findings.
+package probconserve
+
+import "batlife/internal/check"
+
+// BuildUnguarded fills a vector and returns it with no conservation
+// guard on any path.
+func BuildUnguarded(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out // want probconserve (line 15)
+}
+
+// BuildChecked passes the vector through a conservation assert before
+// returning it.
+func BuildChecked(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / float64(n)
+	}
+	check.Probabilities("probconserve.BuildChecked", out)
+	return out
+}
+
+// Renormalized is blessed by assignment through a normalize-named
+// helper.
+func Renormalized(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2
+	}
+	v = normalize(v)
+	return v
+}
+
+// DirtiedAfterCheck re-writes the vector after its conservation check,
+// revoking the blessing.
+func DirtiedAfterCheck(n int) []float64 {
+	out := make([]float64, n)
+	check.NonNegative("probconserve.DirtiedAfterCheck", out)
+	out[0] = 2
+	return out // want probconserve (line 46)
+}
+
+// HalfGuarded only checks the vector on one branch; the meet at the
+// return keeps it unblessed.
+func HalfGuarded(n int, ok bool) []float64 {
+	out := make([]float64, n)
+	if ok {
+		check.Probabilities("probconserve.HalfGuarded", out)
+	}
+	return out // want probconserve (line 56)
+}
+
+// BareReturn exercises named-result tracking through a bare return.
+func BareReturn(n int) (out []float64) {
+	out = make([]float64, n)
+	return // want probconserve (line 62)
+}
+
+// Annotated returns a scratch buffer on purpose; the assertion names
+// the caller as responsible.
+func Annotated(n int) []float64 {
+	out := make([]float64, n)
+	out[0] = 3
+	return out //numlint:normalized scratch buffer; the caller normalizes after accumulation
+}
+
+// PassThrough never writes the vector, so there is nothing to flag.
+func PassThrough(v []float64) []float64 {
+	return v
+}
+
+// normalize rescales v to unit mass in place and returns it.
+//
+//numlint:normalized this is the normalizer itself; the final loop establishes unit mass
+func normalize(v []float64) []float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}

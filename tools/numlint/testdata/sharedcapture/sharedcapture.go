@@ -1,0 +1,103 @@
+// Package sharedcapture is a numlint test fixture for the
+// goroutine-capture and lock-balance analyzer; see numlint_test.go for
+// the expected findings.
+package sharedcapture
+
+import "sync"
+
+// RacyCounter increments a captured counter with no lock in sight.
+func RacyCounter(n int) int {
+	var total int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want sharedcapture (line 16)
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// LockedCounter holds the mutex across the increment; the write is
+// dominated by the acquisition.
+func LockedCounter(n int) int {
+	var total int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// ShardedWrites indexes the shared slice with the per-iteration loop
+// variable — the disjoint-shard worker idiom, not a race under go1.22
+// loop semantics.
+func ShardedWrites(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SharedIndex writes through an index variable that is itself shared
+// across the goroutines, then bumps it unlocked.
+func SharedIndex(n int) []int {
+	out := make([]int, n)
+	next := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[next] = 1 // want sharedcapture (line 69)
+			next++        // want sharedcapture (line 70)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// LeakyLock can return with the mutex still held on the failure path.
+func LeakyLock(mu *sync.Mutex, fail bool) int {
+	mu.Lock()
+	if fail {
+		return 0 // want sharedcapture (line 81)
+	}
+	mu.Unlock()
+	return 1
+}
+
+// DeferBalanced releases via defer on every path.
+func DeferBalanced(mu *sync.Mutex, fail bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if fail {
+		return 0
+	}
+	return 1
+}
+
+// DeferClosureBalanced unlocks inside a deferred closure, which also
+// discharges the lock on every path.
+func DeferClosureBalanced(mu *sync.Mutex) int {
+	mu.Lock()
+	defer func() { mu.Unlock() }()
+	return 1
+}
