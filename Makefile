@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race checks lint lint-flow bench ci
+.PHONY: all build test race checks lint lint-flow fuzz gen-checks bench ci
 
 all: build test lint
 
@@ -40,7 +40,20 @@ lint:
 lint-flow:
 	$(GO) vet ./tools/...
 	$(GO) test -race ./tools/numlint/...
+	$(GO) run ./tools/numlint -verify-gen-checks
 	$(GO) run ./tools/numlint -baseline .numlint-baseline.json ./...
+
+## fuzz: short fuzzing smoke over the directive and contract-grammar
+## parsers; raise FUZZTIME for a real session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz='^FuzzParseDirective$$' -fuzztime=$(FUZZTIME) -run='^$$' ./tools/numlint
+	$(GO) test -fuzz='^FuzzParseContract$$' -fuzztime=$(FUZZTIME) -run='^$$' ./tools/numlint/internal/summary
+
+## gen-checks: regenerate the runtime contract shims from //numlint:
+## requires/ensures directives (see docs/STATIC_ANALYSIS.md).
+gen-checks:
+	$(GO) run ./tools/numlint -gen-checks
 
 ## bench: run every benchmark once (smoke); pass BENCHTIME for real runs.
 ## The Solver benchmarks (cached reuse, parallel sweep) additionally land

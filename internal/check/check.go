@@ -51,6 +51,8 @@ func failf(site, format string, args ...any) {
 }
 
 // Finite asserts every x is neither NaN nor ±Inf.
+//
+//numlint:asserts finite(xs)
 func Finite(site string, xs ...float64) {
 	if !Enabled {
 		return
@@ -63,6 +65,8 @@ func Finite(site string, xs ...float64) {
 }
 
 // FiniteVec asserts every element of v is finite.
+//
+//numlint:asserts finite(v)
 func FiniteVec(site string, v []float64) {
 	if !Enabled {
 		return
@@ -75,6 +79,8 @@ func FiniteVec(site string, v []float64) {
 }
 
 // NonNegative asserts every element of v is finite and >= -probTol.
+//
+//numlint:asserts nonnegative(v)
 func NonNegative(site string, v []float64) {
 	if !Enabled {
 		return
@@ -91,6 +97,8 @@ func NonNegative(site string, v []float64) {
 
 // Probabilities asserts v is a probability distribution: finite,
 // non-negative entries summing to 1 within probTol.
+//
+//numlint:asserts normalized(v)
 func Probabilities(site string, v []float64) {
 	if !Enabled {
 		return
@@ -108,6 +116,8 @@ func Probabilities(site string, v []float64) {
 }
 
 // UnitInterval asserts every element of v lies in [0, 1] within probTol.
+//
+//numlint:asserts unitinterval(v)
 func UnitInterval(site string, v []float64) {
 	if !Enabled {
 		return

@@ -114,3 +114,23 @@ var errFake = errTest("malformed")
 type errTest string
 
 func (e errTest) Error() string { return string(e) }
+
+func TestScalarAsserts(t *testing.T) {
+	mustNotPanic(t, func() { Positive("ok", 1, 0.5, 1e300) })
+	mustPanic(t, "pos0", func() { Positive("pos0", 1, 0) })
+	mustPanic(t, "posneg", func() { Positive("posneg", -1) })
+	mustPanic(t, "posnan", func() { Positive("posnan", math.NaN()) })
+
+	mustNotPanic(t, func() { NonZero("ok", -1, 1e-300, math.Inf(1)) })
+	mustPanic(t, "nz0", func() { NonZero("nz0", 1, 0) })
+	mustPanic(t, "nznan", func() { NonZero("nznan", math.NaN()) })
+
+	mustNotPanic(t, func() { NonNegativeScalar("ok", 0, 2, math.Inf(1)) })
+	mustPanic(t, "nneg", func() { NonNegativeScalar("nneg", -1e-12) })
+	mustPanic(t, "nnan", func() { NonNegativeScalar("nnan", math.NaN()) })
+
+	mustNotPanic(t, func() { UnitScalar("ok", 0, 1, 0.25, 1+1e-9) })
+	mustPanic(t, "unithi", func() { UnitScalar("unithi", 1.01) })
+	mustPanic(t, "unitlo", func() { UnitScalar("unitlo", -0.01) })
+	mustPanic(t, "unitnan", func() { UnitScalar("unitnan", math.NaN()) })
+}

@@ -169,7 +169,10 @@ func Build(model mrm.KiBaMRM, delta float64, opts Options) (*Expanded, error) {
 }
 
 // exactDiv returns x/d as an integer if d divides x (within rounding).
+//
+//numlint:requires positive(d)
 func exactDiv(x, d float64) (int, bool) {
+	numlintContract_exactDiv(d)
 	q := x / d
 	r := math.Round(q)
 	if math.Abs(q-r) > 1e-9*(1+math.Abs(q)) {

@@ -204,23 +204,27 @@ func (c *Chain) Transient(alpha []float64, times []float64, opts TransientOption
 	return TransientDistributions(c.gen, alpha, times, opts)
 }
 
-// UniformDistribution returns the uniform initial distribution.
+// UniformDistribution returns the uniform initial distribution: n
+// entries of 1/n sum to 1 by construction.
 //
-//numlint:normalized n entries of 1/n sum to 1 by construction
+//numlint:ensures normalized
 func (c *Chain) UniformDistribution() []float64 {
 	n := c.NumStates()
 	alpha := make([]float64, n)
 	for i := range alpha {
 		alpha[i] = 1 / float64(n)
 	}
+	numlintContract_Chain_UniformDistribution_ensures(alpha)
 	return alpha
 }
 
-// PointDistribution returns the distribution concentrated on state i.
+// PointDistribution returns the distribution concentrated on state i:
+// unit mass on a single coordinate by construction.
 //
-//numlint:normalized unit mass on a single coordinate by construction
+//numlint:ensures normalized
 func (c *Chain) PointDistribution(i int) []float64 {
 	alpha := make([]float64, c.NumStates())
 	alpha[i] = 1
+	numlintContract_Chain_PointDistribution_ensures(alpha)
 	return alpha
 }

@@ -138,13 +138,14 @@ func NewUniformized(gen *sparse.CSR, opts TransientOptions) (*Uniformized, error
 	if gen.Cols() != n {
 		return nil, fmt.Errorf("%w: generator is %dx%d", ErrBadInput, gen.Rows(), gen.Cols())
 	}
+	q := gen.MaxAbsDiagonal() * opts.slack()
 	u := &Uniformized{
 		gen:     gen,
-		q:       gen.MaxAbsDiagonal() * opts.slack(),
+		q:       q,
 		weights: make(map[weightKey]*foxglynn.Weights),
 	}
-	if u.q > 0 {
-		pt, err := uniformizedTransposed(gen, u.q)
+	if q > 0 {
+		pt, err := uniformizedTransposed(gen, q)
 		if err != nil {
 			return nil, err
 		}
@@ -456,7 +457,10 @@ func frozenResult(res *Result, alpha, w, times []float64) *Result {
 }
 
 // uniformizedTransposed returns (I + Q/q) transposed, in CSR form.
+//
+//numlint:requires positive(q)
 func uniformizedTransposed(gen *sparse.CSR, q float64) (*sparse.CSR, error) {
+	numlintContract_uniformizedTransposed(q)
 	n := gen.Rows()
 	b := sparse.NewBuilder(n, n, gen.NNZ()+n)
 	for r := 0; r < n; r++ {

@@ -57,6 +57,8 @@ func (e *ECDF) At(x float64) float64 {
 }
 
 // Eval returns the CDF at each of the given points.
+//
+//numlint:ensures unitinterval
 func (e *ECDF) Eval(xs []float64) []float64 {
 	out := make([]float64, len(xs))
 	for i, x := range xs {

@@ -104,9 +104,17 @@ func Compute(lambda, eps float64) (*Weights, error) {
 		prob[mode-left+1+i] = u
 	}
 
-	// Normalise. Summing relative weights and dividing is numerically
-	// equivalent to Fox–Glynn's W-scaling and avoids computing the
-	// absolute pmf anywhere except implicitly.
+	prob = normalize(prob)
+	return &Weights{Left: left, Right: right, Prob: prob}, nil
+}
+
+// normalize scales the relative weights into a probability vector.
+// Summing relative weights and dividing is numerically equivalent to
+// Fox–Glynn's W-scaling and avoids computing the absolute pmf anywhere
+// except implicitly.
+//
+//numlint:ensures normalized
+func normalize(prob []float64) []float64 {
 	sum := 0.0
 	for _, p := range prob {
 		sum += p
@@ -116,7 +124,7 @@ func Compute(lambda, eps float64) (*Weights, error) {
 		prob[i] *= inv
 	}
 	check.Probabilities("foxglynn.Compute weights", prob)
-	return &Weights{Left: left, Right: right, Prob: prob}, nil
+	return prob
 }
 
 // LogPMF returns the exact log of the Poisson(lambda) pmf at n, used by

@@ -62,7 +62,10 @@ func (b *Builder) NNZ() int { return len(b.entries) }
 // Add records v at position (row, col). Zero values are skipped.
 // Out-of-range coordinates are reported at Freeze time, so assembly
 // loops stay free of per-entry error handling.
+//
+//numlint:requires finite(v)
 func (b *Builder) Add(row, col int, v float64) {
+	numlintContract_Builder_Add(v)
 	if v == 0 {
 		return
 	}

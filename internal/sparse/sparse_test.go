@@ -2,10 +2,13 @@ package sparse
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"batlife/internal/check"
 )
 
 // buildRandom assembles a random rows×cols matrix with the given fill
@@ -88,9 +91,24 @@ func TestFreezeRejectsOutOfRange(t *testing.T) {
 
 func TestFreezeRejectsNonFinite(t *testing.T) {
 	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		b := NewBuilder(1, 1, 0)
-		b.Add(0, 0, v)
-		if _, err := b.Freeze(); err == nil {
+		// Add declares //numlint:requires finite(v); with debugchecks on,
+		// the generated contract shim panics at the Add call, before
+		// Freeze gets a chance to report the entry.
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if !check.Enabled {
+						t.Fatalf("Add(%v) panicked with checks disabled: %v", v, r)
+					}
+					err = fmt.Errorf("contract: %v", r)
+				}
+			}()
+			b := NewBuilder(1, 1, 0)
+			b.Add(0, 0, v)
+			_, err = b.Freeze()
+			return err
+		}()
+		if err == nil {
 			t.Errorf("Freeze with value %v: want error", v)
 		}
 	}

@@ -37,6 +37,10 @@ type Pass struct {
 	// ModPath is the module path; analyzers use it to scope findings to
 	// module-local callees.
 	ModPath string
+	// Inter is the module-wide interprocedural state (call graph +
+	// function summaries), shared by every pass of a run. Nil only in
+	// stripped-down unit tests.
+	Inter *interState
 
 	diags *[]Diagnostic
 }
@@ -122,7 +126,7 @@ func isAnalyzerName(s string) bool {
 
 // runAnalyzers executes every analyzer over one loaded package and
 // returns the unsuppressed diagnostics sorted by position.
-func runAnalyzers(pi *packageInfo, modPath string) []Diagnostic {
+func runAnalyzers(pi *packageInfo, modPath string, inter *interState) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -132,6 +136,7 @@ func runAnalyzers(pi *packageInfo, modPath string) []Diagnostic {
 			Pkg:      pi.pkg,
 			Info:     pi.info,
 			ModPath:  modPath,
+			Inter:    inter,
 			diags:    &diags,
 		}
 		a.Run(pass)

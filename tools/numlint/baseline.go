@@ -168,14 +168,23 @@ func writeJSONReport(w *os.File, modDir string, newFindings, accepted []Diagnost
 	for _, d := range accepted {
 		add(d, true)
 	}
+	// Fully deterministic order (analyzer, file, line, message, column)
+	// so reports diff cleanly across runs and CI artifacts are stable.
 	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].File != rows[j].File {
-			return rows[i].File < rows[j].File
+		a, b := rows[i], rows[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
 		}
-		if rows[i].Line != rows[j].Line {
-			return rows[i].Line < rows[j].Line
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return rows[i].Analyzer < rows[j].Analyzer
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Column < b.Column
 	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -134,11 +134,90 @@ func TestWriteJSONReport(t *testing.T) {
 	if len(report.Findings) != 2 {
 		t.Fatalf("report has %d findings, want 2", len(report.Findings))
 	}
-	// Sorted by file: a.go (baselined) before b.go (new).
+	// Sorted by analyzer: divguard (baselined) before hotalloc (new).
 	if report.Findings[0].File != "a.go" || !report.Findings[0].Baselined {
 		t.Fatalf("first row %+v, want baselined a.go", report.Findings[0])
 	}
 	if report.Findings[1].File != "b.go" || report.Findings[1].Baselined {
 		t.Fatalf("second row %+v, want new b.go", report.Findings[1])
+	}
+}
+
+// TestReportOrderingDeterministic feeds the same findings in two
+// different input orders and demands byte-identical report and baseline
+// output: CI artifacts must diff cleanly across runs.
+func TestReportOrderingDeterministic(t *testing.T) {
+	modDir := t.TempDir()
+	diags := []Diagnostic{
+		diag("naninf", filepath.Join(modDir, "b.go"), 12, "log of x"),
+		diag("divguard", filepath.Join(modDir, "b.go"), 12, "divide by y"),
+		diag("divguard", filepath.Join(modDir, "a.go"), 30, "divide by z"),
+		diag("divguard", filepath.Join(modDir, "a.go"), 7, "divide by w"),
+		diag("divguard", filepath.Join(modDir, "a.go"), 7, "divide by a"),
+	}
+	reversed := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		reversed[len(diags)-1-i] = d
+	}
+
+	renderReport := func(in []Diagnostic) []byte {
+		t.Helper()
+		out, err := os.CreateTemp(t.TempDir(), "report*.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		if err := writeJSONReport(out, modDir, in, nil); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := renderReport(diags), renderReport(reversed); string(a) != string(b) {
+		t.Errorf("-json report depends on input order:\n%s\nvs\n%s", a, b)
+	}
+
+	renderBaseline := func(in []Diagnostic) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := writeBaseline(path, modDir, in); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := renderBaseline(diags), renderBaseline(reversed); string(a) != string(b) {
+		t.Errorf("-write-baseline output depends on input order:\n%s\nvs\n%s", a, b)
+	}
+
+	// The report order itself is pinned: analyzer, then file, then line,
+	// then message.
+	var report struct {
+		Findings []jsonFinding `json:"findings"`
+	}
+	if err := json.Unmarshal(renderReport(reversed), &report); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range report.Findings {
+		got = append(got, f.Analyzer+" "+f.File+" "+f.Message)
+	}
+	want := []string{
+		"divguard a.go divide by a",
+		"divguard a.go divide by w",
+		"divguard a.go divide by z",
+		"divguard b.go divide by y",
+		"naninf b.go log of x",
+	}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("report order:\n got %q\nwant %q", got, want)
+		}
 	}
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"batlife/tools/numlint/internal/callgraph"
+	"batlife/tools/numlint/internal/flow"
+	"batlife/tools/numlint/internal/summary"
+)
+
+// contractAnalyzer enforces the machine-checked numeric contracts:
+//
+//	//numlint:requires positive(lambda), nonzero(d)
+//	//numlint:ensures normalized
+//	//numlint:asserts nonnegative(xs)
+//
+// Three obligations are verified per package:
+//
+//  1. Directives must parse and resolve — unknown predicates, missing
+//     parameters, and shape mismatches (normalized on a scalar) are
+//     findings at the directive.
+//  2. A declared ensures must be provable: on every reachable return,
+//     the scalar guard lattice or the vector bless lattice must
+//     establish the predicate for the result (runtime-only predicates —
+//     finite, unitinterval on a scalar — are exempt; the generated
+//     debugchecks shims own those).
+//  3. A declared requires must be discharged at every static call site:
+//     the argument has to be provably compliant via dominating guards,
+//     constants, assert calls, the caller's own contract, or callee
+//     ensures. Calls inside function literals are checked in their own
+//     frame.
+//
+// The summaries behind 2 and 3 come from Pass.Inter (see inter.go) and
+// propagate through call chains: a function returning another's result
+// inherits its ensures, recursion included.
+var contractAnalyzer = &Analyzer{
+	Name: "contract",
+	Doc:  "verify //numlint:requires/ensures contracts: bodies discharge ensures, call sites satisfy requires",
+	Run:  runContract,
+}
+
+func runContract(pass *Pass) {
+	st := pass.Inter
+	if st == nil {
+		return
+	}
+	for _, is := range st.issues {
+		if is.PkgPath == pass.Pkg.Path() {
+			pass.Reportf(is.Pos, "bad contract: %s", is.Msg)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			checkEnsuresDischarged(pass, fd, fn)
+			if fd.Body != nil {
+				if ab := st.analyzerBody(pass.Info, fd); ab != nil {
+					checkContractCalls(pass, ab)
+				}
+			}
+		}
+	}
+	// Function literals are separate frames: no contract of their own,
+	// but the calls inside still owe their callees' requires.
+	funcLitsOf(pass, func(lit *ast.FuncLit) {
+		checkContractCalls(pass, st.sums.LitBody(pass.Info, lit))
+	})
+}
+
+// checkEnsuresDischarged reports declared ensures clauses the body does
+// not establish on every reachable return.
+func checkEnsuresDischarged(pass *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	st := pass.Inter
+	ct := st.sums.ContractOf(fn)
+	sum := st.sums.Of(fn)
+	if ct == nil || sum == nil || fd.Body == nil {
+		return
+	}
+	for _, cl := range ct.Ensures {
+		if !cl.Pred.StaticallyCheckable(cl.Vector) {
+			continue // runtime-only: the generated shim checks it
+		}
+		if cl.Index < len(sum.Proven) && !sum.Proven[cl.Index].Has(cl.Pred) {
+			pass.Reportf(cl.Pos,
+				"%s declares ensures %s but the body does not establish it on every return (add a check.* assert or normalize step before returning)",
+				fn.Name(), cl.Pred)
+		}
+	}
+}
+
+// checkContractCalls verifies the declared requires of every static
+// callee in one solved frame.
+func checkContractCalls(pass *Pass, ab *summary.AnalyzerBody) {
+	for _, b := range ab.Graph.Blocks {
+		for idx, nd := range b.Nodes {
+			facts, ok := ab.FactsAt(b, idx)
+			if !ok {
+				continue
+			}
+			vec, _ := ab.VecAt(b, idx)
+			contractWalk(pass, ab, nd, facts, vec)
+		}
+	}
+}
+
+// contractWalk inspects one CFG node under its entry state, refining
+// scalar facts through short-circuit operators like divguard does.
+func contractWalk(pass *Pass, ab *summary.AnalyzerBody, node ast.Node, facts flow.Facts, vec summary.VecFacts) {
+	flow.Inspect(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // checked in its own frame
+		case *ast.BinaryExpr:
+			if e.Op == token.LAND || e.Op == token.LOR {
+				contractWalk(pass, ab, e.X, facts, vec)
+				refined := unionFacts(facts, flow.CondFacts(pass.Info, e.X, e.Op == token.LAND))
+				contractWalk(pass, ab, e.Y, refined, vec)
+				return false
+			}
+		case *ast.CallExpr:
+			checkCallRequires(pass, e, facts, vec)
+		}
+		return true
+	})
+}
+
+func checkCallRequires(pass *Pass, call *ast.CallExpr, facts flow.Facts, vec summary.VecFacts) {
+	st := pass.Inter
+	fn := callgraph.StaticCallee(pass.Info, call)
+	ct := st.sums.ContractOf(fn)
+	if ct == nil {
+		return
+	}
+	for _, cl := range ct.Requires {
+		if !cl.Pred.StaticallyCheckable(cl.Vector) {
+			continue
+		}
+		var args []ast.Expr
+		switch {
+		case cl.Variadic:
+			if call.Ellipsis.IsValid() || cl.Index >= len(call.Args) {
+				continue // spread slice: elements unknowable statically
+			}
+			args = call.Args[cl.Index:]
+		case cl.Index < len(call.Args):
+			args = call.Args[cl.Index : cl.Index+1]
+		default:
+			continue // f(g()) multi-value forwarding: unknowable
+		}
+		for _, arg := range args {
+			var ok bool
+			if cl.Vector {
+				ok = st.sums.VecExprPreds(pass.Info, vec, arg).Has(cl.Pred)
+			} else {
+				ok = st.sums.ScalarExprPreds(pass.Info, facts, arg).Has(cl.Pred)
+			}
+			if !ok {
+				pass.Reportf(arg.Pos(),
+					"call to %s requires %s(%s); the argument is not provably %s here (guard it, assert it, or propagate the contract)",
+					fn.Name(), cl.Pred, cl.Target, cl.Pred)
+			}
+		}
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"go/token"
 	"go/types"
 
+	"batlife/tools/numlint/internal/callgraph"
 	"batlife/tools/numlint/internal/flow"
+	"batlife/tools/numlint/internal/summary"
 )
 
 // divguardAnalyzer is the dataflow upgrade of naninf: instead of asking
@@ -44,14 +46,40 @@ func runDivguard(pass *Pass) {
 			if !returnsFloat(pass, fd) || docStatesPrecondition(fd.Doc) {
 				continue
 			}
-			params := floatParams(pass, fd)
-			// Restrict to parameters naninf considers guarded (they
-			// appear in some branch condition): wholly unguarded
-			// parameters are naninf findings, not divguard ones.
+			if pass.Inter != nil && pass.Inter.hasRequiresContract(pass.Info, fd) {
+				continue // declared precondition: the contract analyzer owns it
+			}
+			allParams := floatParams(pass, fd)
+			if len(allParams) == 0 {
+				continue
+			}
+			// Restrict the intraprocedural checks to parameters naninf
+			// considers guarded (they appear in some branch condition):
+			// wholly unguarded parameters are naninf findings, not
+			// divguard ones. The interprocedural call-site check below
+			// covers every float parameter.
+			params := map[types.Object]bool{}
 			guarded := guardedObjects(pass, fd.Body)
-			for obj := range params {
-				if !guarded[obj] {
-					delete(params, obj)
+			for obj := range allParams {
+				if guarded[obj] {
+					params[obj] = true
+				}
+			}
+			if pass.Inter != nil {
+				// Interprocedural view: entry facts carry the function's
+				// declared requires and its call-site context, so a guard
+				// in every caller discharges a division here.
+				if ab := pass.Inter.analyzerBody(pass.Info, fd); ab != nil {
+					for _, b := range ab.Graph.Blocks {
+						for idx, node := range b.Nodes {
+							facts, reachable := ab.FactsAt(b, idx)
+							if !reachable {
+								continue
+							}
+							walkWithFacts(pass, fd, params, allParams, node, facts)
+						}
+					}
+					continue
 				}
 			}
 			if len(params) == 0 {
@@ -65,7 +93,7 @@ func runDivguard(pass *Pass) {
 					if !reachable {
 						continue
 					}
-					walkWithFacts(pass, fd, params, node, facts)
+					walkWithFacts(pass, fd, params, nil, node, facts)
 				}
 			}
 		}
@@ -73,8 +101,10 @@ func runDivguard(pass *Pass) {
 }
 
 // walkWithFacts inspects one CFG node under the facts holding on its
-// entry, refining them through short-circuit operators.
-func walkWithFacts(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, node ast.Node, facts flow.Facts) {
+// entry, refining them through short-circuit operators. params scopes
+// the intraprocedural division/Log/Sqrt checks; callParams (nil when no
+// interprocedural state exists) scopes the callee-obligation check.
+func walkWithFacts(pass *Pass, fd *ast.FuncDecl, params, callParams map[types.Object]bool, node ast.Node, facts flow.Facts) {
 	flow.Inspect(node, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.FuncLit:
@@ -82,9 +112,9 @@ func walkWithFacts(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, n
 			return false
 		case *ast.BinaryExpr:
 			if e.Op == token.LAND || e.Op == token.LOR {
-				walkWithFacts(pass, fd, params, e.X, facts)
+				walkWithFacts(pass, fd, params, callParams, e.X, facts)
 				refined := unionFacts(facts, flow.CondFacts(pass.Info, e.X, e.Op == token.LAND))
-				walkWithFacts(pass, fd, params, e.Y, refined)
+				walkWithFacts(pass, fd, params, callParams, e.Y, refined)
 				return false
 			}
 			if e.Op == token.QUO {
@@ -92,9 +122,51 @@ func walkWithFacts(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, n
 			}
 		case *ast.CallExpr:
 			checkMathArg(pass, fd, params, e, facts)
+			if callParams != nil {
+				checkCalleeRequires(pass, fd, callParams, e, facts)
+			}
 		}
 		return true
 	})
+}
+
+// checkCalleeRequires flags handing an unguarded parameter to a callee
+// whose body (transitively) divides by it or feeds it to Log/Sqrt —
+// obligations inferred bottom-up by internal/summary that the
+// intraprocedural walk cannot see. Declared //numlint:requires clauses
+// are excluded here; the contract analyzer enforces those.
+func checkCalleeRequires(pass *Pass, fd *ast.FuncDecl, callParams map[types.Object]bool, call *ast.CallExpr, facts flow.Facts) {
+	st := pass.Inter
+	callee := callgraph.StaticCallee(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	sum := st.sums.Of(callee)
+	if sum == nil {
+		return
+	}
+	sig := callee.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len() && i < len(sum.InferredRequires); i++ {
+		need := sum.InferredRequires[i] & summary.StaticMask(false)
+		if need == 0 || i >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[i]
+		obj := paramIdent(pass, callParams, arg)
+		if obj == nil {
+			continue
+		}
+		have := st.sums.ScalarExprPreds(pass.Info, facts, arg)
+		for _, p := range need.Preds() {
+			if have.Has(p) {
+				continue
+			}
+			pass.Reportf(arg.Pos(),
+				"possible NaN/Inf: %s passes parameter %s to %s, whose body needs it %s, with no dominating guard",
+				fd.Name.Name, obj.Name(), callee.Name(), p)
+			break
+		}
+	}
 }
 
 func checkDivision(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool, e *ast.BinaryExpr, facts flow.Facts) {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective throws arbitrary comment text at the directive
+// matcher and the //numlint:ignore collector. Neither may panic, and a
+// positive match must really carry the directive prefix.
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//numlint:ignore divguard guarded by caller", "ignore")
+	f.Add("// numlint:hotpath", "hotpath")
+	f.Add("//numlint:normalized renormalised two lines up", "normalized")
+	f.Add("//numlint:hotpathological", "hotpath")
+	f.Add("/* numlint:ignore floatcmp block comment */", "ignore")
+	f.Add("//", "")
+	f.Add("not a comment at all", "ignore")
+	f.Fuzz(func(t *testing.T, comment, name string) {
+		if directiveNamed(comment, name) {
+			text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+			if !strings.HasPrefix(text, "numlint:"+name) {
+				t.Errorf("directiveNamed(%q, %q) = true, but the comment lacks the directive", comment, name)
+			}
+		}
+		// Feed the comment through the real ignore collector whenever it
+		// yields a parseable file, so malformed ignore lines cannot crash
+		// the analyzer driver.
+		src := "package p\n\n" + comment + "\nvar X = 1\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			return
+		}
+		dir := collectIgnores(fset, []*ast.File{file})
+		_ = dir.suppressed(Diagnostic{
+			Pos:      token.Position{Filename: "fuzz.go", Line: 4, Column: 1},
+			Analyzer: "divguard",
+			Message:  "probe",
+		})
+	})
+}

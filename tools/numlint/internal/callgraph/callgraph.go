@@ -1,0 +1,306 @@
+// Package callgraph builds a module-wide static call graph over the
+// packages the numlint loader has type-checked, for the interprocedural
+// summary engine (see ../summary).
+//
+// Nodes are *types.Func objects; edges are direct (statically resolved)
+// calls: plain function calls, method calls through a concrete receiver,
+// and calls inside function literals (marked, because facts holding in
+// the enclosing frame do not necessarily hold when the literal runs).
+// Indirect calls through function values and interface dispatch produce
+// no edges — a node records instead whether its function is ever used as
+// a value (AddressTaken) or promoted to an interface method set, so
+// consumers know the edge set may be incomplete for it.
+//
+// SCCs returns Tarjan's strongly connected components in bottom-up
+// (callees before callers) order, which is the evaluation order of the
+// summary fixed point.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is the slice of the loader's per-package state the graph
+// builder needs.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Node is one function in the graph.
+type Node struct {
+	// Fn is the function object; the canonical node key.
+	Fn *types.Func
+	// Decl is the declaration with body, or nil for functions declared
+	// in packages outside the analyzed set (or bodyless declarations).
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package holding Decl (nil when Decl is nil).
+	Pkg *Package
+	// Out and In are the call edges leaving and entering the node.
+	Out []*Edge
+	In  []*Edge
+	// AddressTaken reports that the function is referenced somewhere
+	// other than the Fun position of a call — assigned, passed, or
+	// returned as a value — so not every call to it is visible as an
+	// edge.
+	AddressTaken bool
+}
+
+// Edge is one static call site.
+type Edge struct {
+	Caller, Callee *Node
+	// Site is the call expression inside Caller's body.
+	Site *ast.CallExpr
+	// InLit marks sites inside a function literal nested in Caller's
+	// body: the call does not necessarily execute under the facts of the
+	// enclosing frame (it may run later, concurrently, or never).
+	InLit bool
+}
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	// Nodes maps every function seen — declared in the analyzed
+	// packages or merely called from them — to its node.
+	Nodes map[*types.Func]*Node
+	// Packages are the analyzed packages, as given.
+	Packages []*Package
+}
+
+// Lookup returns the node of fn, or nil.
+func (g *Graph) Lookup(fn *types.Func) *Node {
+	return g.Nodes[fn]
+}
+
+// Build constructs the call graph of the given packages.
+func Build(pkgs []*Package) *Graph {
+	g := &Graph{Nodes: map[*types.Func]*Node{}, Packages: pkgs}
+	node := func(fn *types.Func) *Node {
+		n, ok := g.Nodes[fn]
+		if !ok {
+			n = &Node{Fn: fn}
+			g.Nodes[fn] = n
+		}
+		return n
+	}
+
+	// First pass: register every declaration so Decl/Pkg are set before
+	// edges resolve to the nodes.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := node(fn)
+				if fd.Body != nil {
+					n.Decl = fd
+					n.Pkg = p
+				}
+			}
+		}
+	}
+
+	// Second pass: edges and address-taken marks.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if caller == nil {
+					continue
+				}
+				addCalls(g, p, node(caller), fd.Body)
+			}
+		}
+	}
+	markAddressTaken(g, pkgs)
+	return g
+}
+
+// addCalls walks one function body recording call edges; litDepth > 0
+// inside nested function literals.
+func addCalls(g *Graph, p *Package, caller *Node, body ast.Node) {
+	var walk func(n ast.Node, litDepth int)
+	walk = func(n ast.Node, litDepth int) {
+		ast.Inspect(n, func(nd ast.Node) bool {
+			switch e := nd.(type) {
+			case *ast.FuncLit:
+				walk(e.Body, litDepth+1)
+				return false
+			case *ast.CallExpr:
+				fn := StaticCallee(p.Info, e)
+				if fn == nil {
+					return true
+				}
+				callee, ok := g.Nodes[fn]
+				if !ok {
+					callee = &Node{Fn: fn}
+					g.Nodes[fn] = callee
+				}
+				edge := &Edge{Caller: caller, Callee: callee, Site: e, InLit: litDepth > 0}
+				caller.Out = append(caller.Out, edge)
+				callee.In = append(callee.In, edge)
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// StaticCallee resolves the function or concrete method a call
+// statically invokes, or nil for builtins, conversions, indirect calls,
+// and interface dispatch.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Interface method calls resolve to the interface's *types.Func,
+		// which never has a Decl in the analyzed set; method expressions
+		// (T.M)(recv, args...) shift the argument list by the receiver.
+		// Treat both as unresolved rather than pretending the edge is a
+		// plain concrete call.
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// markAddressTaken flags every function referenced outside the Fun
+// position of a call: such functions can be invoked through edges the
+// graph does not see.
+func markAddressTaken(g *Graph, pkgs []*Package) {
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			// Collect the idents that are the Fun of some call (after
+			// unwrapping selectors/parens), then flag every other use.
+			inCall := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					inCall[fun] = true
+				case *ast.SelectorExpr:
+					inCall[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || inCall[id] {
+					return true
+				}
+				fn, ok := p.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if node := g.Nodes[fn]; node != nil {
+					node.AddressTaken = true
+				} else {
+					g.Nodes[fn] = &Node{Fn: fn, AddressTaken: true}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// SCCs returns the strongly connected components of the graph in
+// bottom-up order: every edge leaving a component points to an earlier
+// component in the returned slice, so summaries can be computed with a
+// single left-to-right sweep (iterating to a fixed point inside each
+// component). Only nodes with declarations participate; external
+// functions are leaves with no summaries. The order is deterministic:
+// roots are visited in (package path, position) order.
+func (g *Graph) SCCs() [][]*Node {
+	nodes := make([]*Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Decl != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+
+	// Tarjan's algorithm (iterative via explicit recursion on a stack of
+	// frames would be overkill at module scale; recursion depth is
+	// bounded by the call-chain length).
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	var out [][]*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range v.Out {
+			w := e.Callee
+			if w.Decl == nil {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func load(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for fn, n := range g.Nodes {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+const src = `package p
+
+type T struct{}
+
+func (T) M() float64 { return helper(1) }
+
+func helper(x float64) float64 { return x }
+
+func top() float64 {
+	var t T
+	go func() {
+		helper(3)
+	}()
+	return t.M() + helper(2)
+}
+
+func recA(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return recB(n - 1)
+}
+
+func recB(n int) int { return recA(n) }
+
+func self(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return self(n - 1)
+}
+
+func taken() func(float64) float64 { return helper }
+
+type I interface{ M() float64 }
+
+func viaIface(i I) float64 { return i.M() }
+`
+
+func TestBuildEdges(t *testing.T) {
+	g := Build([]*Package{load(t, src)})
+
+	helper := nodeByName(t, g, "helper")
+	if len(helper.In) != 3 {
+		t.Fatalf("helper has %d in-edges, want 3 (M, top, go-literal)", len(helper.In))
+	}
+	lits := 0
+	for _, e := range helper.In {
+		if e.InLit {
+			lits++
+		}
+	}
+	if lits != 1 {
+		t.Errorf("helper has %d in-lit edges, want 1", lits)
+	}
+	if !helper.AddressTaken {
+		t.Error("helper returned as a value must be AddressTaken")
+	}
+
+	m := nodeByName(t, g, "M")
+	// t.M() resolves to the concrete method; i.M() must not add an edge.
+	concrete := 0
+	for _, e := range m.In {
+		if e.Caller.Fn.Name() == "top" {
+			concrete++
+		}
+	}
+	if concrete != 1 || len(m.In) != 1 {
+		t.Errorf("M has %d in-edges (%d from top), want exactly 1 from top", len(m.In), concrete)
+	}
+
+	top := nodeByName(t, g, "top")
+	if top.AddressTaken {
+		t.Error("top is never used as a value")
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	g := Build([]*Package{load(t, src)})
+	sccs := g.SCCs()
+
+	pos := map[string]int{}
+	size := map[string]int{}
+	for i, comp := range sccs {
+		for _, n := range comp {
+			pos[n.Fn.Name()] = i
+			size[n.Fn.Name()] = len(comp)
+		}
+	}
+
+	// Bottom-up: callees before callers.
+	if !(pos["helper"] < pos["M"] && pos["M"] < pos["top"] && pos["helper"] < pos["top"]) {
+		t.Errorf("not bottom-up: helper=%d M=%d top=%d", pos["helper"], pos["M"], pos["top"])
+	}
+	// recA and recB form one two-node component; self its own singleton.
+	if pos["recA"] != pos["recB"] || size["recA"] != 2 {
+		t.Errorf("recA/recB should share a 2-node SCC: pos %d/%d size %d", pos["recA"], pos["recB"], size["recA"])
+	}
+	if size["self"] != 1 {
+		t.Errorf("self SCC size %d, want 1", size["self"])
+	}
+
+	// Determinism: a second build yields the same component order.
+	again := Build([]*Package{load(t, src)}).SCCs()
+	if len(again) != len(sccs) {
+		t.Fatalf("SCC count changed across builds: %d vs %d", len(again), len(sccs))
+	}
+	for i := range sccs {
+		if sccs[i][0].Fn.Name() != again[i][0].Fn.Name() && len(sccs[i]) == 1 && len(again[i]) == 1 {
+			t.Errorf("component %d differs across builds: %s vs %s",
+				i, sccs[i][0].Fn.Name(), again[i][0].Fn.Name())
+		}
+	}
+}

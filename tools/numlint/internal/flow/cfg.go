@@ -300,29 +300,7 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 		return b.switchStmt(s.Init, nil, s.Assign, s.Body, cur)
 
 	case *ast.SelectStmt:
-		join := b.newBlock()
-		b.pushFrame(join, nil)
-		for _, clause := range s.Body.List {
-			cc := clause.(*ast.CommClause)
-			body := b.newBlock()
-			b.edge(cur, body, nil, false)
-			if cc.Comm != nil {
-				body.Nodes = append(body.Nodes, cc.Comm)
-			}
-			if end := b.stmtList(cc.Body, body); end != nil {
-				b.edge(end, join, nil, false)
-			}
-		}
-		b.popFrame()
-		if len(s.Body.List) == 0 {
-			// Empty select blocks forever.
-			cur.Nodes = append(cur.Nodes, s)
-			return nil
-		}
-		if len(join.Preds) == 0 {
-			return nil
-		}
-		return join
+		return b.selectStmt(s, cur)
 
 	case *ast.DeferStmt:
 		cur.Nodes = append(cur.Nodes, s)
@@ -393,6 +371,42 @@ func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body 
 	}
 	if !hasDefault {
 		b.edge(cur, join, nil, false)
+	}
+	b.popFrame()
+	if len(join.Preds) == 0 {
+		return nil
+	}
+	return join
+}
+
+// selectStmt builds a select statement. Each communication clause gets
+// its own body block reached by an edge from the head: the comm
+// operation (receive assignment or send) is the first node of its case
+// body, so facts killed or established by `v := <-ch` stay scoped to
+// that case. A default clause is an ordinary extra successor — with one
+// present the select never blocks, without one control can only leave
+// through a case, and an empty select blocks forever (join unreachable,
+// like `for {}`). break (and labeled break, via the frame stack)
+// targets the join.
+func (b *builder) selectStmt(s *ast.SelectStmt, cur *Block) *Block {
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever; keep the statement in the block so
+		// every AST node appears exactly once, but add no out-edge.
+		cur.Nodes = append(cur.Nodes, s)
+		return nil
+	}
+	join := b.newBlock()
+	b.pushFrame(join, nil)
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CommClause)
+		body := b.newBlock()
+		b.edge(cur, body, nil, false)
+		if cc.Comm != nil {
+			body.Nodes = append(body.Nodes, cc.Comm)
+		}
+		if end := b.stmtList(cc.Body, body); end != nil {
+			b.edge(end, join, nil, false)
+		}
 	}
 	b.popFrame()
 	if len(join.Preds) == 0 {

@@ -233,29 +233,80 @@ func AssignedObjects(info *types.Info, n ast.Node) []types.Object {
 	return out
 }
 
+// Options configures a guard-fact solve beyond the plain intraprocedural
+// defaults.
+type Options struct {
+	// Entry holds on function entry: the interprocedural layer seeds it
+	// with contract requires and call-site context facts, so a guard
+	// discharged by every caller (or promised by a //numlint:requires
+	// contract) counts inside the callee too.
+	Entry Facts
+	// Asserts, when non-nil, maps a call expression to the facts the call
+	// establishes by runtime assertion (e.g. check.Positive or a
+	// generated contract shim): after the call returns, the facts hold.
+	Asserts func(call *ast.CallExpr) Facts
+}
+
+// stepFacts pushes facts through one CFG node: assignments kill every
+// fact about the assigned objects, then assertion calls establish their
+// facts. out is copy-on-write.
+func stepFacts(info *types.Info, opt Options, out Facts, n ast.Node) Facts {
+	cloned := false
+	mutate := func() {
+		if !cloned {
+			out = out.clone()
+			cloned = true
+		}
+	}
+	for _, obj := range AssignedObjects(info, n) {
+		for f := range out {
+			if f.Obj == obj {
+				mutate()
+				delete(out, f)
+			}
+		}
+	}
+	if opt.Asserts != nil {
+		Inspect(n, func(nd ast.Node) bool {
+			if _, ok := nd.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for f := range opt.Asserts(call) {
+				mutate()
+				out[f] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // GuardFacts solves the guarded-fact problem for one function graph:
 // for every reachable block, the facts that hold on entry no matter
 // which path was taken.
 func GuardFacts(info *types.Info, g *Graph) *Solution[Facts] {
+	return GuardFactsOpt(info, g, Options{})
+}
+
+// GuardFactsOpt is GuardFacts with entry facts and assertion-call
+// recognition.
+func GuardFactsOpt(info *types.Info, g *Graph, opt Options) *Solution[Facts] {
+	entry := opt.Entry
+	if entry == nil {
+		entry = Facts{}
+	}
 	problem := &Forward[Facts]{
-		Entry: Facts{},
+		Entry: entry,
 		Meet:  intersectFacts,
 		Equal: equalFacts,
 		Transfer: func(b *Block, in Facts) Facts {
 			out := in
-			cloned := false
 			for _, n := range b.Nodes {
-				for _, obj := range AssignedObjects(info, n) {
-					for f := range out {
-						if f.Obj == obj {
-							if !cloned {
-								out = out.clone()
-								cloned = true
-							}
-							delete(out, f)
-						}
-					}
-				}
+				out = stepFacts(info, opt, out, n)
 			}
 			return out
 		},
@@ -282,24 +333,19 @@ func GuardFacts(info *types.Info, g *Graph) *Solution[Facts] {
 // minus everything killed by the preceding nodes of the block.
 // Unreachable blocks yield (nil, false).
 func FactsAt(info *types.Info, sol *Solution[Facts], b *Block, idx int) (Facts, bool) {
+	return FactsAtOpt(info, sol, b, idx, Options{})
+}
+
+// FactsAtOpt is FactsAt under the same Options the solution was computed
+// with, so assertion calls earlier in the block contribute their facts.
+func FactsAtOpt(info *types.Info, sol *Solution[Facts], b *Block, idx int, opt Options) (Facts, bool) {
 	in, ok := sol.In(b)
 	if !ok {
 		return nil, false
 	}
 	out := in
-	cloned := false
 	for i := 0; i < idx && i < len(b.Nodes); i++ {
-		for _, obj := range AssignedObjects(info, b.Nodes[i]) {
-			for f := range out {
-				if f.Obj == obj {
-					if !cloned {
-						out = out.clone()
-						cloned = true
-					}
-					delete(out, f)
-				}
-			}
-		}
+		out = stepFacts(info, opt, out, b.Nodes[i])
 	}
 	return out, true
 }

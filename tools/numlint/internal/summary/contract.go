@@ -1,0 +1,205 @@
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"batlife/tools/numlint/internal/callgraph"
+)
+
+// Clause is one contract clause resolved against a function signature.
+type Clause struct {
+	Pred Pred
+	Kind Kind
+	// Target is the parameter or named-result identifier from the
+	// directive ("" for a default-result ensures).
+	Target string
+	// Index is the parameter index (requires/asserts) or result index
+	// (ensures) in signature order, excluding any receiver.
+	Index int
+	// Vector reports the target's shape: []float64 (true) vs a float
+	// scalar (false). A variadic ...float64 parameter counts as scalar —
+	// the clause applies to each argument.
+	Vector bool
+	// Variadic marks a clause on the variadic parameter.
+	Variadic bool
+	// Pos is the directive's position, for diagnostics.
+	Pos token.Pos
+}
+
+// Contract is the set of declared clauses of one function.
+type Contract struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Requires must hold at every call site; the contract analyzer
+	// enforces the statically checkable ones there.
+	Requires []Clause
+	// Ensures must be established by the body on every return; callers
+	// may assume them of results.
+	Ensures []Clause
+	// Asserts means the function runtime-checks (panics otherwise) that
+	// the clause holds of its argument, so a completed call establishes
+	// the clause as a fact. Used by internal/check and the generated
+	// contract shims; never an obligation on callers.
+	Asserts []Clause
+}
+
+// Issue is a problem with a contract directive itself — a parse error,
+// an unknown target, or a shape mismatch. The contract analyzer reports
+// issues of its package.
+type Issue struct {
+	PkgPath string
+	Pos     token.Pos
+	Msg     string
+}
+
+// CollectContracts parses the contract directives off every function
+// declaration's doc comment and resolves the clauses against the
+// signatures. Functions whose directives are partially malformed keep
+// their valid clauses; each problem becomes an Issue.
+func CollectContracts(pkgs []*callgraph.Package) (map[*types.Func]*Contract, []Issue) {
+	out := map[*types.Func]*Contract{}
+	var issues []Issue
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					d, err := ParseDirective(c.Text)
+					if err != nil {
+						issues = append(issues, Issue{p.Path, c.Pos(), err.Error()})
+						continue
+					}
+					if d == nil {
+						continue
+					}
+					ct := out[fn]
+					if ct == nil {
+						ct = &Contract{Fn: fn, Decl: fd}
+						out[fn] = ct
+					}
+					for _, rc := range d.Clauses {
+						cl, err := resolveClause(fn, d.Kind, rc)
+						if err != nil {
+							issues = append(issues, Issue{p.Path, c.Pos(), err.Error()})
+							continue
+						}
+						cl.Pos = c.Pos()
+						switch d.Kind {
+						case KindRequires:
+							ct.Requires = append(ct.Requires, cl)
+						case KindEnsures:
+							ct.Ensures = append(ct.Ensures, cl)
+						case KindAsserts:
+							ct.Asserts = append(ct.Asserts, cl)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, issues
+}
+
+func resolveClause(fn *types.Func, kind Kind, rc RawClause) (Clause, error) {
+	sig := fn.Type().(*types.Signature)
+	cl := Clause{Pred: rc.Pred, Kind: kind, Target: rc.Target}
+	switch kind {
+	case KindRequires, KindAsserts:
+		params := sig.Params()
+		idx := -1
+		for i := 0; i < params.Len(); i++ {
+			if params.At(i).Name() == rc.Target {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return cl, fmt.Errorf("numlint:%s %s(%s): %s has no parameter %q",
+				kind, rc.Pred, rc.Target, fn.Name(), rc.Target)
+		}
+		cl.Index = idx
+		cl.Variadic = sig.Variadic() && idx == params.Len()-1
+		t := params.At(idx).Type()
+		if cl.Variadic {
+			t = t.(*types.Slice).Elem()
+		}
+		vector, ok := predShape(t)
+		if !ok {
+			return cl, fmt.Errorf("numlint:%s %s(%s): parameter has type %s; contracts apply to float and []float64 targets",
+				kind, rc.Pred, rc.Target, t)
+		}
+		cl.Vector = vector
+	case KindEnsures:
+		results := sig.Results()
+		idx := -1
+		if rc.Target == "" {
+			for i := 0; i < results.Len(); i++ {
+				if _, ok := predShape(results.At(i).Type()); !ok {
+					continue
+				}
+				if idx >= 0 {
+					return cl, fmt.Errorf("numlint:ensures %s: %s has several float results; name one",
+						rc.Pred, fn.Name())
+				}
+				idx = i
+			}
+			if idx < 0 {
+				return cl, fmt.Errorf("numlint:ensures %s: %s has no float or []float64 result",
+					rc.Pred, fn.Name())
+			}
+		} else {
+			for i := 0; i < results.Len(); i++ {
+				if results.At(i).Name() == rc.Target {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return cl, fmt.Errorf("numlint:ensures %s(%s): %s has no named result %q",
+					rc.Pred, rc.Target, fn.Name(), rc.Target)
+			}
+		}
+		cl.Index = idx
+		vector, ok := predShape(results.At(idx).Type())
+		if !ok {
+			return cl, fmt.Errorf("numlint:ensures %s: result %d has type %s; contracts apply to float and []float64 targets",
+				rc.Pred, idx, results.At(idx).Type())
+		}
+		cl.Vector = vector
+	}
+	if !cl.Pred.AppliesTo(cl.Vector) {
+		shape := "float64"
+		if cl.Vector {
+			shape = "[]float64"
+		}
+		return cl, fmt.Errorf("numlint:%s: predicate %s does not apply to a %s target", kind, cl.Pred, shape)
+	}
+	return cl, nil
+}
+
+// predShape classifies a contractable target type: (false, true) for a
+// float scalar, (true, true) for []float64, (_, false) otherwise.
+func predShape(t types.Type) (vector, ok bool) {
+	if isFloatType(t) {
+		return false, true
+	}
+	if sl, sok := t.Underlying().(*types.Slice); sok && isFloatType(sl.Elem()) {
+		return true, true
+	}
+	return false, false
+}
+
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,63 @@
+package summary
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseContract exercises the contract-directive grammar with
+// arbitrary comment lines. ParseDirective must never panic, must never
+// return both a directive and an error, and every accepted directive
+// must survive a render/reparse round trip unchanged.
+func FuzzParseContract(f *testing.F) {
+	f.Add("//numlint:requires positive(lambda), nonzero(d)")
+	f.Add("//numlint:ensures normalized")
+	f.Add("//numlint:ensures unitinterval(cdf), finite(cdf)")
+	f.Add("//numlint:asserts nonnegative(xs)")
+	f.Add("//numlint:requires positiv(x)")
+	f.Add("//numlint:requires positive(x")
+	f.Add("//numlint:requires positive()")
+	f.Add("//numlint:requires")
+	f.Add("//numlint:ignore floatcmp tolerance test")
+	f.Add("// plain prose mentioning numlint:ensures in passing")
+	f.Add("//numlint:ensures normalized, normalized")
+	f.Fuzz(func(t *testing.T, line string) {
+		d, err := ParseDirective(line)
+		if d != nil && err != nil {
+			t.Fatalf("ParseDirective(%q) returned both a directive and error %v", line, err)
+		}
+		if d == nil {
+			return
+		}
+		if len(d.Clauses) == 0 {
+			t.Fatalf("ParseDirective(%q) accepted a directive with no clauses", line)
+		}
+		var items []string
+		for _, cl := range d.Clauses {
+			if cl.Pred >= numPreds {
+				t.Fatalf("ParseDirective(%q) produced out-of-range predicate %d", line, cl.Pred)
+			}
+			if cl.Target == "" {
+				if d.Kind != KindEnsures {
+					t.Fatalf("ParseDirective(%q) accepted a targetless %s clause", line, d.Kind)
+				}
+				items = append(items, cl.Pred.String())
+				continue
+			}
+			if !validIdent(cl.Target) {
+				t.Fatalf("ParseDirective(%q) accepted non-identifier target %q", line, cl.Target)
+			}
+			items = append(items, fmt.Sprintf("%s(%s)", cl.Pred, cl.Target))
+		}
+		canon := "//numlint:" + d.Kind.String() + " " + strings.Join(items, ", ")
+		d2, err2 := ParseDirective(canon)
+		if err2 != nil || d2 == nil {
+			t.Fatalf("canonical form %q of %q failed to reparse: %v", canon, line, err2)
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("round trip changed the directive:\n  in    %q -> %+v\n  canon %q -> %+v", line, d, canon, d2)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package summary computes interprocedural per-function summaries for
+// numlint: the numeric contract each function declares (via
+// //numlint:requires, //numlint:ensures, and //numlint:asserts
+// directives), the return guarantees its body provably establishes, the
+// obligations its body imposes on parameters, and the facts every
+// visible call site happens to discharge. Summaries are propagated
+// bottom-up over the call graph's strongly connected components to a
+// fixed point, so guarantees flow through call chains and recursion.
+package summary
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Pred is one contract predicate. Predicates apply to float64 scalars
+// or []float64 vectors depending on the target's type (see AppliesTo):
+// for a vector, nonnegative/unitinterval/finite hold entrywise and
+// normalized additionally requires the entries to sum to one.
+type Pred uint8
+
+const (
+	// Positive: strictly greater than zero (scalar only).
+	Positive Pred = iota
+	// NonZero: not equal to zero (scalar only).
+	NonZero
+	// NonNegative: greater than or equal to zero.
+	NonNegative
+	// Finite: neither NaN nor ±Inf. Never statically checkable; finite
+	// clauses exist for the generated runtime shims.
+	Finite
+	// UnitInterval: within [0, 1].
+	UnitInterval
+	// Normalized: a probability vector — entries in [0, 1] summing to
+	// one (vector only).
+	Normalized
+
+	numPreds
+)
+
+var predNames = [numPreds]string{
+	Positive:     "positive",
+	NonZero:      "nonzero",
+	NonNegative:  "nonnegative",
+	Finite:       "finite",
+	UnitInterval: "unitinterval",
+	Normalized:   "normalized",
+}
+
+func (p Pred) String() string {
+	if p < numPreds {
+		return predNames[p]
+	}
+	return "unknown"
+}
+
+// ParsePred resolves a predicate name from the directive grammar.
+func ParsePred(name string) (Pred, bool) {
+	for p, n := range predNames {
+		if n == name {
+			return Pred(p), true
+		}
+	}
+	return 0, false
+}
+
+// PredSet is a bit set of predicates, kept closed under implication:
+// positive ⇒ nonzero, nonnegative; normalized ⇒ unitinterval ⇒
+// nonnegative. Build sets with Pred.Set (never raw shifts) so the
+// closure invariant holds; union and intersection preserve it.
+type PredSet uint8
+
+func (p Pred) bit() PredSet { return 1 << p }
+
+// Set returns the singleton set of p closed under implication.
+func (p Pred) Set() PredSet {
+	switch p {
+	case Positive:
+		return Positive.bit() | NonZero.bit() | NonNegative.bit()
+	case Normalized:
+		return Normalized.bit() | UnitInterval.bit() | NonNegative.bit()
+	case UnitInterval:
+		return UnitInterval.bit() | NonNegative.bit()
+	default:
+		return p.bit()
+	}
+}
+
+// Has reports whether the set establishes p (implications are already
+// materialized by the closure invariant).
+func (s PredSet) Has(p Pred) bool { return s&p.bit() != 0 }
+
+// Preds returns the members in declaration order.
+func (s PredSet) Preds() []Pred {
+	var out []Pred
+	for p := Pred(0); p < numPreds; p++ {
+		if s.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s PredSet) String() string {
+	if s == 0 {
+		return "none"
+	}
+	names := make([]string, 0, numPreds)
+	for _, p := range s.Preds() {
+		names = append(names, p.String())
+	}
+	return strings.Join(names, ",")
+}
+
+// AppliesTo reports whether the predicate is meaningful for a target of
+// the given shape (vector = []float64, scalar = float64).
+func (p Pred) AppliesTo(vector bool) bool {
+	if vector {
+		return p == NonNegative || p == UnitInterval || p == Normalized || p == Finite
+	}
+	return p != Normalized
+}
+
+// StaticallyCheckable reports whether the static lattices can discharge
+// the predicate for the given shape: the scalar guard lattice proves
+// positive/nonzero/nonnegative, the vector bless lattice proves
+// nonnegative/unitinterval/normalized. finite (and unitinterval on a
+// scalar) are runtime-only — the generated shims check them, the
+// contract analyzer does not.
+func (p Pred) StaticallyCheckable(vector bool) bool {
+	if vector {
+		return p == NonNegative || p == UnitInterval || p == Normalized
+	}
+	return p == Positive || p == NonZero || p == NonNegative
+}
+
+// ApplicableMask is the set of all predicates applicable to the shape.
+func ApplicableMask(vector bool) PredSet {
+	var out PredSet
+	for p := Pred(0); p < numPreds; p++ {
+		if p.AppliesTo(vector) {
+			out |= p.Set()
+		}
+	}
+	return out
+}
+
+// StaticMask is the set of statically checkable predicates for the
+// shape.
+func StaticMask(vector bool) PredSet {
+	var out PredSet
+	for p := Pred(0); p < numPreds; p++ {
+		if p.StaticallyCheckable(vector) {
+			out |= p.bit()
+		}
+	}
+	return out
+}
+
+// Kind distinguishes the three contract directives.
+type Kind uint8
+
+const (
+	// KindRequires: the caller must establish the clause before calling.
+	KindRequires Kind = iota
+	// KindEnsures: the function establishes the clause for its result on
+	// every (non-nil, for vectors) return.
+	KindEnsures
+	// KindAsserts: the function runtime-panics unless the clause holds
+	// of its argument, so after a call returns the clause is a fact.
+	KindAsserts
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRequires:
+		return "requires"
+	case KindEnsures:
+		return "ensures"
+	case KindAsserts:
+		return "asserts"
+	}
+	return "unknown"
+}
+
+// RawClause is one parsed `pred` or `pred(target)` clause, before
+// resolution against a signature.
+type RawClause struct {
+	Pred Pred
+	// Target names a parameter (requires/asserts) or a named result
+	// (ensures); empty only for ensures, meaning the default result.
+	Target string
+}
+
+// Directive is one parsed contract comment line.
+type Directive struct {
+	Kind    Kind
+	Clauses []RawClause
+}
+
+// ParseDirective parses one comment line of the contract grammar:
+//
+//	//numlint:requires positive(lambda), nonzero(d)
+//	//numlint:ensures normalized
+//	//numlint:asserts nonnegative(xs)
+//
+// Clauses are comma-separated; each is a predicate name optionally
+// applied to an identifier. requires and asserts clauses must name a
+// parameter; an ensures clause may omit the target to mean the
+// function's (sole float-typed) result. The line must contain nothing
+// else — prose explaining the contract belongs on neighbouring doc
+// lines.
+//
+// Lines that are not contract directives at all (including every other
+// //numlint: directive) return (nil, nil); malformed contract
+// directives return an error.
+func ParseDirective(line string) (*Directive, error) {
+	s := strings.TrimSpace(line)
+	s = strings.TrimPrefix(s, "//")
+	s = strings.TrimSpace(s)
+	const prefix = "numlint:"
+	if !strings.HasPrefix(s, prefix) {
+		return nil, nil
+	}
+	rest := s[len(prefix):]
+	word := rest
+	if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
+		word, rest = rest[:i], rest[i:]
+	} else {
+		rest = ""
+	}
+	var kind Kind
+	switch word {
+	case "requires":
+		kind = KindRequires
+	case "ensures":
+		kind = KindEnsures
+	case "asserts":
+		kind = KindAsserts
+	default:
+		return nil, nil // some other numlint directive
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, fmt.Errorf("numlint:%s needs at least one clause", kind)
+	}
+	d := &Directive{Kind: kind}
+	for _, item := range strings.Split(rest, ",") {
+		cl, err := parseClause(kind, strings.TrimSpace(item))
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses = append(d.Clauses, cl)
+	}
+	return d, nil
+}
+
+func parseClause(kind Kind, item string) (RawClause, error) {
+	if item == "" {
+		return RawClause{}, fmt.Errorf("empty clause in numlint:%s", kind)
+	}
+	name, target := item, ""
+	if i := strings.IndexByte(item, '('); i >= 0 {
+		if !strings.HasSuffix(item, ")") {
+			return RawClause{}, fmt.Errorf("unclosed target in clause %q", item)
+		}
+		name = strings.TrimSpace(item[:i])
+		target = strings.TrimSpace(item[i+1 : len(item)-1])
+		if !validIdent(target) {
+			return RawClause{}, fmt.Errorf("clause %q: target must be an identifier", item)
+		}
+	}
+	pred, ok := ParsePred(name)
+	if !ok {
+		return RawClause{}, fmt.Errorf("unknown predicate %q (want one of %s)", name, knownPreds())
+	}
+	if target == "" && kind != KindEnsures {
+		return RawClause{}, fmt.Errorf("numlint:%s clause %q must name a parameter, e.g. %s(x)", kind, item, pred)
+	}
+	return RawClause{Pred: pred, Target: target}, nil
+}
+
+func knownPreds() string {
+	return strings.Join(predNames[:], ", ")
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}

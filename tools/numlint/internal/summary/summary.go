@@ -1,0 +1,1141 @@
+package summary
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"batlife/tools/numlint/internal/callgraph"
+	"batlife/tools/numlint/internal/flow"
+)
+
+// Summary is the interprocedural fact sheet of one declared function.
+// All slices are indexed in signature order (receiver excluded).
+type Summary struct {
+	Node     *callgraph.Node
+	Contract *Contract // nil when the function declares no contract
+	// Requires holds the declared caller obligations per parameter.
+	Requires []PredSet
+	// InferredRequires holds obligations the body analysis discovered
+	// beyond the declared ones: a parameter flows unguarded into a
+	// division, a math.Log/Sqrt, or a callee with its own requires.
+	// Inference is restricted by Options.InferBody. Never enforced as a
+	// declared contract — divguard uses these for call-site findings.
+	InferredRequires []PredSet
+	// Proven holds, per result, the predicates the body establishes on
+	// every reachable return (assuming declared requires on entry and
+	// callee ensures at calls). For vectors, a nil return satisfies any
+	// predicate vacuously.
+	Proven []PredSet
+	// Ensures is what callers may assume: declared ensures (the runtime
+	// shims back the non-static ones) joined with Proven.
+	Ensures []PredSet
+	// Context holds, per parameter, the meet over every visible call
+	// site of the facts the caller had already established for the
+	// argument. Only populated for functions whose call sites are all
+	// visible (see trusted); zero otherwise.
+	Context []PredSet
+}
+
+// Options configures Compute.
+type Options struct {
+	// InferBody, when non-nil, gates obligation inference to functions
+	// inside the cleanliness envelope the intraprocedural analyzers
+	// already police (float-returning, no documented precondition).
+	// Declared contracts are always processed regardless.
+	InferBody func(p *callgraph.Package, fd *ast.FuncDecl) bool
+}
+
+// Set is the computed summary universe of one module load.
+type Set struct {
+	Graph     *callgraph.Graph
+	Contracts map[*types.Func]*Contract
+	opt       Options
+	sums      map[*types.Func]*Summary
+	bodies    map[*callgraph.Node]*body
+}
+
+// Of returns the summary of fn, or nil for functions without a
+// declaration in the analyzed set.
+func (s *Set) Of(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	return s.sums[fn]
+}
+
+// ContractOf returns fn's declared contract, or nil.
+func (s *Set) ContractOf(fn *types.Func) *Contract {
+	if fn == nil {
+		return nil
+	}
+	return s.Contracts[fn]
+}
+
+// body caches the per-function CFG and the scalar guard-fact solution
+// under the function's own entry assumptions (declared requires only —
+// context facts are layered on by AnalyzerBody, never here, so the
+// context computation cannot feed itself).
+type body struct {
+	g     *flow.Graph
+	fopt  flow.Options
+	sol   *flow.Solution[flow.Facts]
+	sites map[*ast.CallExpr]nodeAt
+}
+
+type nodeAt struct {
+	b   *flow.Block
+	idx int
+}
+
+// Compute builds summaries for every declared function, sweeping the
+// call graph bottom-up. Acyclic functions are summarized once off their
+// callees' final summaries; each SCC iterates to a fixed point with
+// ensures seeded optimistically (greatest fixed point — sound for
+// partial correctness: a recursive return path contributes what its
+// base cases prove) and requires grown from empty (least fixed point).
+func Compute(g *callgraph.Graph, contracts map[*types.Func]*Contract, opt Options) *Set {
+	s := &Set{
+		Graph:     g,
+		Contracts: contracts,
+		opt:       opt,
+		sums:      map[*types.Func]*Summary{},
+		bodies:    map[*callgraph.Node]*body{},
+	}
+	for fn, n := range g.Nodes {
+		if n.Decl == nil {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		sum := &Summary{
+			Node:             n,
+			Contract:         contracts[fn],
+			Requires:         make([]PredSet, sig.Params().Len()),
+			InferredRequires: make([]PredSet, sig.Params().Len()),
+			Proven:           make([]PredSet, sig.Results().Len()),
+			Ensures:          make([]PredSet, sig.Results().Len()),
+			Context:          make([]PredSet, sig.Params().Len()),
+		}
+		if ct := sum.Contract; ct != nil {
+			for _, cl := range ct.Requires {
+				sum.Requires[cl.Index] |= cl.Pred.Set()
+			}
+			for _, cl := range ct.Ensures {
+				sum.Ensures[cl.Index] |= cl.Pred.Set()
+			}
+		}
+		s.sums[fn] = sum
+	}
+
+	for _, comp := range g.SCCs() {
+		cyclic := len(comp) > 1 || hasSelfEdge(comp[0])
+		if cyclic {
+			for _, n := range comp {
+				s.seedOptimistic(s.sums[n.Fn])
+			}
+		}
+		// Bits only ever flip one way (proven shrinks, requires grows),
+		// so the fixed point arrives within the total bit budget; the
+		// cap is a safety net, not the convergence argument.
+		maxIter := 2 + len(comp)*int(numPreds)*8
+		for iter := 0; ; iter++ {
+			changed := false
+			for _, n := range comp {
+				if s.update(n) {
+					changed = true
+				}
+			}
+			if !changed || !cyclic || iter >= maxIter {
+				break
+			}
+		}
+	}
+	s.computeContexts()
+	return s
+}
+
+func hasSelfEdge(n *callgraph.Node) bool {
+	for _, e := range n.Out {
+		if e.Callee == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Set) seedOptimistic(sum *Summary) {
+	sig := sum.Node.Fn.Type().(*types.Signature)
+	for i := range sum.Proven {
+		if vector, ok := predShape(sig.Results().At(i).Type()); ok {
+			sum.Proven[i] = ApplicableMask(vector)
+			sum.Ensures[i] |= sum.Proven[i]
+		}
+	}
+}
+
+// update recomputes one node's proven/ensures/inferred-requires off the
+// current summaries, reporting whether anything moved.
+func (s *Set) update(n *callgraph.Node) bool {
+	sum := s.sums[n.Fn]
+	changed := false
+	proven := s.inferProven(n)
+	for i, p := range proven {
+		if sum.Proven[i] != p {
+			sum.Proven[i] = p
+			changed = true
+		}
+		want := p
+		if ct := sum.Contract; ct != nil {
+			for _, cl := range ct.Ensures {
+				if cl.Index == i {
+					want |= cl.Pred.Set()
+				}
+			}
+		}
+		if sum.Ensures[i] != want {
+			sum.Ensures[i] = want
+			changed = true
+		}
+	}
+	inferred := s.inferRequires(n)
+	for i, r := range inferred {
+		r &^= sum.Requires[i] // declared obligations are not re-inferred
+		if sum.InferredRequires[i]|r != sum.InferredRequires[i] {
+			sum.InferredRequires[i] |= r
+			changed = true
+		}
+	}
+	return changed
+}
+
+// body returns the cached CFG + scalar solution of a declared node.
+func (s *Set) body(n *callgraph.Node) *body {
+	if b, ok := s.bodies[n]; ok {
+		return b
+	}
+	info := n.Pkg.Info
+	b := &body{
+		g:     flow.New(n.Decl.Body),
+		sites: map[*ast.CallExpr]nodeAt{},
+	}
+	b.fopt = flow.Options{
+		Entry:   s.entryFacts(n, false),
+		Asserts: s.AssertFacts(info),
+	}
+	b.sol = flow.GuardFactsOpt(info, b.g, b.fopt)
+	for _, blk := range b.g.Blocks {
+		for idx, nd := range blk.Nodes {
+			at := nodeAt{blk, idx}
+			flow.Inspect(nd, func(x ast.Node) bool {
+				switch c := x.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					b.sites[c] = at
+				}
+				return true
+			})
+		}
+	}
+	s.bodies[n] = b
+	return b
+}
+
+// entryFacts maps a node's parameter assumptions onto flow facts:
+// declared requires always, call-site context additionally when
+// withContext is set.
+func (s *Set) entryFacts(n *callgraph.Node, withContext bool) flow.Facts {
+	sum := s.sums[n.Fn]
+	out := flow.Facts{}
+	for i, obj := range paramObjs(n) {
+		if obj == nil {
+			continue
+		}
+		ps := sum.Requires[i]
+		if withContext {
+			ps |= sum.Context[i]
+		}
+		addFlowFacts(out, obj, ps)
+	}
+	return out
+}
+
+// paramObjs returns the parameter objects of a declaration in signature
+// order; entries are nil for unnamed/blank parameters.
+func paramObjs(n *callgraph.Node) []types.Object {
+	sig := n.Fn.Type().(*types.Signature)
+	out := make([]types.Object, sig.Params().Len())
+	info := n.Pkg.Info
+	i := 0
+	if n.Decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range n.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i >= len(out) {
+				return out
+			}
+			if obj := info.Defs[name]; obj != nil {
+				out[i] = obj
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// addFlowFacts records the flow-lattice projection of ps for obj. The
+// closure invariant means only the three exact flow predicates need
+// mapping.
+func addFlowFacts(out flow.Facts, obj types.Object, ps PredSet) {
+	if ps.Has(Positive) {
+		out[flow.Fact{Obj: obj, P: flow.Positive}] = true
+	}
+	if ps.Has(NonZero) {
+		out[flow.Fact{Obj: obj, P: flow.NonZero}] = true
+	}
+	if ps.Has(NonNegative) {
+		out[flow.Fact{Obj: obj, P: flow.NonNegative}] = true
+	}
+}
+
+// FactsPreds projects the flow facts of obj back into a PredSet.
+func FactsPreds(facts flow.Facts, obj types.Object) PredSet {
+	var out PredSet
+	if facts.Has(obj, flow.Positive) {
+		out |= Positive.Set()
+	}
+	if facts.Has(obj, flow.NonZero) {
+		out |= NonZero.Set()
+	}
+	if facts.Has(obj, flow.NonNegative) {
+		out |= NonNegative.Set()
+	}
+	return out
+}
+
+// AssertFacts returns the flow.Options.Asserts callback for code
+// type-checked under info: the scalar facts a completed call
+// establishes, from the internal/check assert table and from
+// //numlint:asserts contracts.
+func (s *Set) AssertFacts(info *types.Info) func(*ast.CallExpr) flow.Facts {
+	return func(call *ast.CallExpr) flow.Facts {
+		fn := callgraph.StaticCallee(info, call)
+		if fn == nil {
+			return nil
+		}
+		out := flow.Facts{}
+		addArg := func(e ast.Expr, ps PredSet) {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok {
+				return
+			}
+			if obj := info.Uses[id]; obj != nil {
+				addFlowFacts(out, obj, ps)
+			}
+		}
+		if ps := checkScalarAssert(fn); ps != 0 && len(call.Args) > 1 && !call.Ellipsis.IsValid() {
+			for _, a := range call.Args[1:] {
+				addArg(a, ps)
+			}
+		}
+		if ct := s.Contracts[fn]; ct != nil {
+			for _, cl := range ct.Asserts {
+				if cl.Vector {
+					continue
+				}
+				switch {
+				case cl.Variadic && !call.Ellipsis.IsValid():
+					for _, a := range call.Args[cl.Index:] {
+						addArg(a, cl.Pred.Set())
+					}
+				case !cl.Variadic && cl.Index < len(call.Args):
+					addArg(call.Args[cl.Index], cl.Pred.Set())
+				}
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+}
+
+// checkScalarAssert maps the internal/check scalar assert helpers —
+// signature (site string, xs ...float64) — to the predicate they
+// enforce on each argument.
+func checkScalarAssert(fn *types.Func) PredSet {
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/check") {
+		return 0
+	}
+	switch fn.Name() {
+	case "Positive":
+		return Positive.Set()
+	case "NonZero":
+		return NonZero.Set()
+	case "NonNegativeScalar":
+		return NonNegative.Set()
+	case "UnitScalar":
+		return UnitInterval.Set()
+	}
+	return 0
+}
+
+// checkVectorAssert maps the internal/check vector asserts — signature
+// (site string, v []float64) — to the predicates they enforce.
+func checkVectorAssert(fn *types.Func) PredSet {
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/check") {
+		return 0
+	}
+	switch fn.Name() {
+	case "Probabilities":
+		return Normalized.Set()
+	case "UnitInterval":
+		return UnitInterval.Set()
+	case "NonNegative":
+		return NonNegative.Set()
+	}
+	return 0
+}
+
+// ScalarExprPreds returns the predicates provable for a scalar
+// expression: constants by value, identifiers by dominating guard
+// facts, single-result calls by callee ensures.
+func (s *Set) ScalarExprPreds(info *types.Info, facts flow.Facts, e ast.Expr) PredSet {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return constPreds(tv.Value)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return FactsPreds(facts, obj)
+		}
+	case *ast.CallExpr:
+		fn := callgraph.StaticCallee(info, x)
+		if sum := s.Of(fn); sum != nil && len(sum.Ensures) == 1 {
+			return sum.Ensures[0] & ApplicableMask(false)
+		}
+	}
+	return 0
+}
+
+func constPreds(v constant.Value) PredSet {
+	if k := v.Kind(); k != constant.Int && k != constant.Float {
+		return 0
+	}
+	out := Finite.Set()
+	switch constant.Sign(v) {
+	case 1:
+		out |= Positive.Set()
+	case 0:
+		out |= UnitInterval.Set() // zero: nonnegative and within [0,1]
+	case -1:
+		out |= NonZero.Set()
+	}
+	if f := constant.ToFloat(v); f.Kind() == constant.Float || f.Kind() == constant.Int {
+		if constant.Sign(v) >= 0 && constant.Compare(f, token.LEQ, constant.MakeFloat64(1)) {
+			out |= UnitInterval.Set()
+		}
+	}
+	return out
+}
+
+// VecFacts is the vector bless lattice: for each []float64 variable,
+// the predicates holding since its last write. Zero-pred entries are
+// normalized away.
+type VecFacts map[types.Object]PredSet
+
+func vecMeet(a, b VecFacts) VecFacts {
+	out := VecFacts{}
+	for k, av := range a {
+		if bv, ok := b[k]; ok && av&bv != 0 {
+			out[k] = av & bv
+		}
+	}
+	return out
+}
+
+func vecEqual(a, b VecFacts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		if b[k] != av {
+			return false
+		}
+	}
+	return true
+}
+
+func (v VecFacts) clone() VecFacts {
+	out := make(VecFacts, len(v))
+	for k, p := range v {
+		out[k] = p
+	}
+	return out
+}
+
+// vecSolve runs the bless lattice over one body: entry facts from the
+// declared vector requires, blessing via assert calls and
+// ensures-backed assignments, kills on writes.
+func (s *Set) vecSolve(n *callgraph.Node, g *flow.Graph) *flow.Solution[VecFacts] {
+	entry := VecFacts{}
+	sum := s.sums[n.Fn]
+	for i, obj := range paramObjs(n) {
+		if obj == nil || !isFloatSliceObj(obj) {
+			continue
+		}
+		if ps := sum.Requires[i] & ApplicableMask(true); ps != 0 {
+			entry[obj] = ps
+		}
+	}
+	return s.vecSolveWith(n.Pkg.Info, entry, g)
+}
+
+func (s *Set) vecSolveWith(info *types.Info, entry VecFacts, g *flow.Graph) *flow.Solution[VecFacts] {
+	problem := &flow.Forward[VecFacts]{
+		Entry: entry,
+		Meet:  vecMeet,
+		Equal: vecEqual,
+		Transfer: func(b *flow.Block, in VecFacts) VecFacts {
+			out := in
+			for _, nd := range b.Nodes {
+				out = s.vecStep(info, out, nd)
+			}
+			return out
+		},
+	}
+	return problem.Solve(g)
+}
+
+// VecFactsAt replays the bless lattice to just before node idx of b.
+func (s *Set) VecFactsAt(info *types.Info, sol *flow.Solution[VecFacts], b *flow.Block, idx int) (VecFacts, bool) {
+	in, ok := sol.In(b)
+	if !ok {
+		return nil, false
+	}
+	out := in
+	for i := 0; i < idx && i < len(b.Nodes); i++ {
+		out = s.vecStep(info, out, b.Nodes[i])
+	}
+	return out, true
+}
+
+// vecStep pushes the bless state through one CFG node.
+func (s *Set) vecStep(info *types.Info, state VecFacts, n ast.Node) VecFacts {
+	out := state
+	cloned := false
+	set := func(obj types.Object, ps PredSet) {
+		if !cloned {
+			out = out.clone()
+			cloned = true
+		}
+		if ps == 0 {
+			delete(out, obj)
+		} else {
+			out[obj] = ps
+		}
+	}
+	bless := func(obj types.Object, ps PredSet) {
+		if ps != 0 {
+			set(obj, out[obj]|ps)
+		}
+	}
+	kill := func(e ast.Expr) {
+		if obj := vecIdent(info, e); obj != nil {
+			set(obj, 0)
+		}
+	}
+	flow.Inspect(n, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			for arg, ps := range s.VectorAssertPreds(info, e) {
+				if obj := vecIdent(info, arg); obj != nil {
+					bless(obj, ps)
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				kill(e.X)
+			}
+		case *ast.RangeStmt:
+			kill(e.Key)
+			if e.Value != nil {
+				kill(e.Value)
+			}
+		case *ast.ValueSpec:
+			for i, name := range e.Names {
+				obj := info.Defs[name]
+				if obj == nil || !isFloatSliceObj(obj) {
+					continue
+				}
+				var ps PredSet
+				if len(e.Values) == len(e.Names) {
+					ps = s.vecExprPreds(info, out, e.Values[i], 0)
+				}
+				set(obj, ps)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					obj := info.Defs[l]
+					if obj == nil {
+						obj = info.Uses[l]
+					}
+					if obj == nil || !isFloatSliceObj(obj) {
+						continue
+					}
+					var ps PredSet
+					switch {
+					case len(e.Rhs) == len(e.Lhs):
+						ps = s.vecExprPreds(info, out, e.Rhs[i], 0)
+					case len(e.Rhs) == 1:
+						ps = s.vecExprPreds(info, out, e.Rhs[0], i)
+					}
+					set(obj, ps)
+				case *ast.IndexExpr:
+					kill(l.X)
+				case *ast.StarExpr:
+					kill(l.X)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// vecExprPreds returns the predicates provable for result resultIdx of
+// a vector-producing expression: identifiers by bless state, nil
+// vacuously, zeroed makes, normalize-named and ensures-carrying calls.
+func (s *Set) vecExprPreds(info *types.Info, state VecFacts, e ast.Expr, resultIdx int) PredSet {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		// A nil vector satisfies every entrywise predicate vacuously;
+		// the runtime shims skip nil results for the same reason.
+		return ApplicableMask(true)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return state[obj]
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				if tv, ok := info.Types[x]; ok {
+					if vector, shapeOK := predShape(tv.Type); shapeOK && vector {
+						// Fresh zeros: entrywise in [0,1] and finite,
+						// but summing to zero, never normalized.
+						return UnitInterval.Set() | Finite.Set()
+					}
+				}
+			}
+		}
+		return s.CallResultVectorPreds(info, x, resultIdx)
+	case *ast.CompositeLit:
+		return compositePreds(info, x)
+	}
+	return 0
+}
+
+// VecExprPreds is the exported single-result form of vecExprPreds, for
+// analyzers judging argument expressions at call sites.
+func (s *Set) VecExprPreds(info *types.Info, state VecFacts, e ast.Expr) PredSet {
+	return s.vecExprPreds(info, state, e, 0)
+}
+
+// CallResultVectorPreds returns what a call promises of its resultIdx-th
+// result vector: the callee's ensures, or the normalize-name heuristic
+// the intraprocedural analyzers already trust.
+func (s *Set) CallResultVectorPreds(info *types.Info, call *ast.CallExpr, resultIdx int) PredSet {
+	fn := callgraph.StaticCallee(info, call)
+	if fn == nil {
+		return 0
+	}
+	var out PredSet
+	if sum := s.Of(fn); sum != nil && resultIdx < len(sum.Ensures) {
+		out = sum.Ensures[resultIdx] & ApplicableMask(true)
+	}
+	if strings.Contains(strings.ToLower(fn.Name()), "normali") {
+		out |= Normalized.Set()
+	}
+	return out
+}
+
+// VectorAssertPreds returns, per argument expression, the vector
+// predicates a call runtime-asserts: the internal/check conservation
+// guards applied to every vector argument, normalize-named callees, and
+// //numlint:asserts vector clauses.
+func (s *Set) VectorAssertPreds(info *types.Info, call *ast.CallExpr) map[ast.Expr]PredSet {
+	fn := callgraph.StaticCallee(info, call)
+	if fn == nil {
+		return nil
+	}
+	out := map[ast.Expr]PredSet{}
+	broad := checkVectorAssert(fn)
+	if strings.Contains(strings.ToLower(fn.Name()), "normali") {
+		broad |= Normalized.Set()
+	}
+	if broad != 0 {
+		for _, arg := range call.Args {
+			if vecIdent(info, arg) != nil {
+				out[arg] |= broad
+			}
+		}
+	}
+	if ct := s.Contracts[fn]; ct != nil {
+		for _, cl := range ct.Asserts {
+			if !cl.Vector {
+				continue
+			}
+			if cl.Index < len(call.Args) && !(cl.Variadic && call.Ellipsis.IsValid()) {
+				out[call.Args[cl.Index]] |= cl.Pred.Set()
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func compositePreds(info *types.Info, lit *ast.CompositeLit) PredSet {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return 0
+	}
+	if vector, shapeOK := predShape(tv.Type); !shapeOK || !vector {
+		return 0
+	}
+	out := ApplicableMask(true) &^ Normalized.bit() // sums are not tracked
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		etv, ok := info.Types[el]
+		if !ok || etv.Value == nil {
+			return 0
+		}
+		out &= constPreds(etv.Value) | Normalized.bit()
+	}
+	return out & ApplicableMask(true)
+}
+
+func vecIdent(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || !isFloatSliceObj(obj) {
+		return nil
+	}
+	return obj
+}
+
+func isFloatSliceObj(obj types.Object) bool {
+	vector, ok := predShape(obj.Type())
+	return ok && vector
+}
+
+// inferProven recomputes the per-result proven predicates of one node:
+// the intersection, over every reachable return site, of what the
+// returned expressions provably satisfy there. No reachable returns
+// (the function always panics or loops) leaves the optimistic top.
+func (s *Set) inferProven(n *callgraph.Node) []PredSet {
+	fn := n.Fn
+	sig := fn.Type().(*types.Signature)
+	results := sig.Results()
+	out := make([]PredSet, results.Len())
+	shapes := make([]bool, results.Len())
+	interesting := false
+	for i := 0; i < results.Len(); i++ {
+		vector, ok := predShape(results.At(i).Type())
+		if !ok {
+			continue
+		}
+		shapes[i] = vector
+		out[i] = ApplicableMask(vector)
+		interesting = true
+	}
+	if !interesting {
+		return out
+	}
+	info := n.Pkg.Info
+	b := s.body(n)
+	vecSol := s.vecSolve(n, b.g)
+	for _, site := range b.g.Returns {
+		idx := nodeIndex(site.Block, site.Stmt)
+		facts, ok := flow.FactsAtOpt(info, b.sol, site.Block, idx, b.fopt)
+		if !ok {
+			continue
+		}
+		vstate, _ := s.VecFactsAt(info, vecSol, site.Block, idx)
+		for i := range out {
+			if _, ok := predShape(results.At(i).Type()); !ok {
+				continue
+			}
+			out[i] &= s.returnPreds(n, site.Stmt, i, facts, vstate, shapes[i])
+		}
+	}
+	return out
+}
+
+func nodeIndex(b *flow.Block, n ast.Node) int {
+	for i, nd := range b.Nodes {
+		if nd == n {
+			return i
+		}
+	}
+	return len(b.Nodes)
+}
+
+// returnPreds evaluates result index i of one return statement under
+// the scalar facts and vector bless state holding just before it.
+func (s *Set) returnPreds(n *callgraph.Node, ret *ast.ReturnStmt, i int, facts flow.Facts, vstate VecFacts, vector bool) PredSet {
+	info := n.Pkg.Info
+	sig := n.Fn.Type().(*types.Signature)
+	switch {
+	case len(ret.Results) == 0:
+		// Naked return: the named result object carries the state.
+		obj := namedResultObj(n, i)
+		if obj == nil {
+			return 0
+		}
+		if vector {
+			return vstate[obj]
+		}
+		return FactsPreds(facts, obj)
+	case len(ret.Results) == sig.Results().Len():
+		if vector {
+			return s.vecExprPreds(info, vstate, ret.Results[i], 0)
+		}
+		return s.ScalarExprPreds(info, facts, ret.Results[i])
+	case len(ret.Results) == 1:
+		// `return g(...)` forwarding a multi-result call.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if sum := s.Of(callgraph.StaticCallee(info, call)); sum != nil && i < len(sum.Ensures) {
+				return sum.Ensures[i] & ApplicableMask(vector)
+			}
+		}
+	}
+	return 0
+}
+
+func namedResultObj(n *callgraph.Node, i int) types.Object {
+	if n.Decl.Type.Results == nil {
+		return nil
+	}
+	idx := 0
+	for _, field := range n.Decl.Type.Results.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if idx == i {
+				return n.Pkg.Info.Defs[name]
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// inferRequires discovers the obligations a body imposes on its scalar
+// float parameters: flowing unguarded into a division, a math.Log* or
+// math.Sqrt, or a callee parameter with its own (declared or inferred)
+// requires. Restricted to Options.InferBody functions so the analysis
+// envelope matches naninf/divguard.
+func (s *Set) inferRequires(n *callgraph.Node) []PredSet {
+	sum := s.sums[n.Fn]
+	out := make([]PredSet, len(sum.Requires))
+	if s.opt.InferBody == nil || !s.opt.InferBody(n.Pkg, n.Decl) {
+		return out
+	}
+	sig := n.Fn.Type().(*types.Signature)
+	tracked := map[types.Object]int{}
+	for i, obj := range paramObjs(n) {
+		if obj == nil {
+			continue
+		}
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			continue
+		}
+		if vector, ok := predShape(obj.Type()); ok && !vector {
+			tracked[obj] = i
+		}
+	}
+	if len(tracked) == 0 {
+		return out
+	}
+	b := s.body(n)
+	info := n.Pkg.Info
+	for _, blk := range b.g.Blocks {
+		for idx, nd := range blk.Nodes {
+			facts, ok := flow.FactsAtOpt(info, b.sol, blk, idx, b.fopt)
+			if !ok {
+				continue
+			}
+			s.obligations(info, tracked, nd, facts, out)
+		}
+	}
+	return out
+}
+
+// obligations walks one CFG node under its entry facts, refining
+// through short-circuit operators exactly like divguard does.
+func (s *Set) obligations(info *types.Info, tracked map[types.Object]int, node ast.Node, facts flow.Facts, out []PredSet) {
+	need := func(e ast.Expr, p Pred) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return
+		}
+		i, ok := tracked[obj]
+		if !ok || facts.Has(obj, mustFlowPred(p)) {
+			return
+		}
+		out[i] |= p.Set()
+	}
+	flow.Inspect(node, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.LAND || e.Op == token.LOR {
+				s.obligations(info, tracked, e.X, facts, out)
+				refined := flow.Facts{}
+				for f := range facts {
+					refined[f] = true
+				}
+				for f := range flow.CondFacts(info, e.X, e.Op == token.LAND) {
+					refined[f] = true
+				}
+				s.obligations(info, tracked, e.Y, refined, out)
+				return false
+			}
+			if e.Op == token.QUO && constVal(info, e.Y) == nil &&
+				(isFloatExpr(info, e.X) || isFloatExpr(info, e.Y)) {
+				need(e.Y, NonZero)
+			}
+		case *ast.CallExpr:
+			if p, ok := mathObligation(info, e); ok && len(e.Args) == 1 && constVal(info, e.Args[0]) == nil {
+				need(e.Args[0], p)
+			}
+			if sum := s.Of(callgraph.StaticCallee(info, e)); sum != nil && !e.Ellipsis.IsValid() {
+				for j := 0; j < len(sum.Requires) && j < len(e.Args); j++ {
+					ps := (sum.Requires[j] | sum.InferredRequires[j]) & StaticMask(false)
+					for _, p := range ps.Preds() {
+						if !s.ScalarExprPreds(info, facts, e.Args[j]).Has(p) {
+							need(e.Args[j], p)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mustFlowPred maps a statically checkable scalar pred to its flow
+// twin; only called for the three guard predicates.
+func mustFlowPred(p Pred) flow.Pred {
+	switch p {
+	case Positive:
+		return flow.Positive
+	case NonZero:
+		return flow.NonZero
+	default:
+		return flow.NonNegative
+	}
+}
+
+func mathObligation(info *types.Info, call *ast.CallExpr) (Pred, bool) {
+	fn := callgraph.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "Log", "Log2", "Log10":
+		return Positive, true
+	case "Sqrt":
+		return NonNegative, true
+	}
+	return 0, false
+}
+
+func constVal(info *types.Info, e ast.Expr) constant.Value {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isFloatType(tv.Type)
+}
+
+// computeContexts fills Summary.Context: for every trusted function,
+// the meet over all visible call sites of the facts the caller had
+// already established for each scalar argument. Caller facts are
+// computed under the caller's declared requires only, so context can
+// never support itself through recursion.
+func (s *Set) computeContexts() {
+	nodes := make([]*callgraph.Node, 0, len(s.sums))
+	for _, sum := range s.sums {
+		nodes = append(nodes, sum.Node)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	for _, n := range nodes {
+		sum := s.sums[n.Fn]
+		if len(sum.Context) == 0 || !trusted(n) || len(n.In) == 0 {
+			continue
+		}
+		sig := n.Fn.Type().(*types.Signature)
+		acc := make([]PredSet, len(sum.Context))
+		for i := range acc {
+			acc[i] = StaticMask(false)
+		}
+		contributed := false
+		for _, e := range n.In {
+			if e.InLit {
+				// The call runs under unknown facts — drains everything.
+				for i := range acc {
+					acc[i] = 0
+				}
+				contributed = true
+				break
+			}
+			cb := s.body(e.Caller)
+			at, ok := cb.sites[e.Site]
+			if !ok {
+				continue
+			}
+			facts, ok := flow.FactsAtOpt(e.Caller.Pkg.Info, cb.sol, at.b, at.idx, cb.fopt)
+			if !ok {
+				continue // unreachable call site never runs
+			}
+			contributed = true
+			for i := range acc {
+				if sig.Variadic() && i == len(acc)-1 {
+					acc[i] = 0
+					continue
+				}
+				if i >= len(e.Site.Args) {
+					acc[i] = 0
+					continue
+				}
+				if vector, ok := predShape(sig.Params().At(i).Type()); !ok || vector {
+					acc[i] = 0
+					continue
+				}
+				acc[i] &= s.ScalarExprPreds(e.Caller.Pkg.Info, facts, e.Site.Args[i]) & StaticMask(false)
+			}
+		}
+		if contributed {
+			copy(sum.Context, acc)
+		}
+	}
+}
+
+// trusted reports whether every call of n is visible as a graph edge:
+// not address-taken (no indirect calls), not a method (interface
+// dispatch is invisible), and not callable from outside the loaded
+// module (unexported, or in an internal/ package). Note a subset load
+// (numlint -pkgs) can still hide same-module callers — whole-module
+// runs, which CI performs, see them all.
+func trusted(n *callgraph.Node) bool {
+	if n.Decl == nil || n.AddressTaken {
+		return false
+	}
+	if n.Fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	if !n.Fn.Exported() {
+		return true
+	}
+	path := n.Pkg.Path
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+}
+
+// AnalyzerBody is the per-function view the analyzers consume: the CFG
+// plus both lattices solved under the full interprocedural entry state
+// (declared requires AND call-site context).
+type AnalyzerBody struct {
+	Graph *flow.Graph
+	Opt   flow.Options
+	Scal  *flow.Solution[flow.Facts]
+	Vec   *flow.Solution[VecFacts]
+	set   *Set
+	info  *types.Info
+}
+
+// AnalyzerBody builds (uncached — cache on the caller's side if reused
+// across analyzers) the interprocedural view of a declared node.
+func (s *Set) AnalyzerBody(n *callgraph.Node) *AnalyzerBody {
+	g := flow.New(n.Decl.Body)
+	opt := flow.Options{
+		Entry:   s.entryFacts(n, true),
+		Asserts: s.AssertFacts(n.Pkg.Info),
+	}
+	return &AnalyzerBody{
+		Graph: g,
+		Opt:   opt,
+		Scal:  flow.GuardFactsOpt(n.Pkg.Info, g, opt),
+		Vec:   s.vecSolve(n, g),
+		set:   s,
+		info:  n.Pkg.Info,
+	}
+}
+
+// LitBody is AnalyzerBody for a function literal: a separate frame with
+// no contract, so both lattices start empty, but assertion calls and
+// callee summaries still apply inside.
+func (s *Set) LitBody(info *types.Info, lit *ast.FuncLit) *AnalyzerBody {
+	g := flow.New(lit.Body)
+	opt := flow.Options{Asserts: s.AssertFacts(info)}
+	return &AnalyzerBody{
+		Graph: g,
+		Opt:   opt,
+		Scal:  flow.GuardFactsOpt(info, g, opt),
+		Vec:   s.vecSolveWith(info, VecFacts{}, g),
+		set:   s,
+		info:  info,
+	}
+}
+
+// FactsAt returns the scalar facts just before node idx of b.
+func (ab *AnalyzerBody) FactsAt(b *flow.Block, idx int) (flow.Facts, bool) {
+	return flow.FactsAtOpt(ab.info, ab.Scal, b, idx, ab.Opt)
+}
+
+// VecAt returns the vector bless state just before node idx of b.
+func (ab *AnalyzerBody) VecAt(b *flow.Block, idx int) (VecFacts, bool) {
+	return ab.set.VecFactsAt(ab.info, ab.Vec, b, idx)
+}

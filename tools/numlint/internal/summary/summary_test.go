@@ -1,0 +1,393 @@
+package summary
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"batlife/tools/numlint/internal/callgraph"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		line    string
+		kind    Kind
+		clauses []RawClause
+		err     bool
+		skip    bool // not a contract directive at all
+	}{
+		{line: "//numlint:requires positive(lambda)", kind: KindRequires,
+			clauses: []RawClause{{Positive, "lambda"}}},
+		{line: "//numlint:requires positive(a), nonzero(b)", kind: KindRequires,
+			clauses: []RawClause{{Positive, "a"}, {NonZero, "b"}}},
+		{line: "//numlint:ensures normalized", kind: KindEnsures,
+			clauses: []RawClause{{Normalized, ""}}},
+		{line: "//numlint:ensures unitinterval(cdf)", kind: KindEnsures,
+			clauses: []RawClause{{UnitInterval, "cdf"}}},
+		{line: "//numlint:asserts finite(xs)", kind: KindAsserts,
+			clauses: []RawClause{{Finite, "xs"}}},
+		{line: "//numlint:ignore floatcmp tolerance test", skip: true},
+		{line: "//numlint:normalized weights sum to one", skip: true},
+		{line: "// plain comment", skip: true},
+		{line: "//numlint:requires", err: true},
+		{line: "//numlint:requires positive", err: true},     // missing target
+		{line: "//numlint:requires positive(", err: true},    // unclosed
+		{line: "//numlint:requires positive()", err: true},   // empty target
+		{line: "//numlint:requires positive(x),", err: true}, // trailing comma
+		{line: "//numlint:ensures sorted", err: true},        // unknown pred
+		{line: "//numlint:requires positive(2x)", err: true}, // bad ident
+		{line: "//numlint:asserts nonnegative", err: true},   // asserts needs target
+		{line: "//numlint:requires positive(x) why", err: true} /* trailing prose */}
+	for _, tc := range cases {
+		d, err := ParseDirective(tc.line)
+		switch {
+		case tc.skip:
+			if d != nil || err != nil {
+				t.Errorf("%q: want (nil, nil), got (%v, %v)", tc.line, d, err)
+			}
+		case tc.err:
+			if err == nil {
+				t.Errorf("%q: want error, got %v", tc.line, d)
+			}
+		default:
+			if err != nil || d == nil {
+				t.Errorf("%q: unexpected (%v, %v)", tc.line, d, err)
+				continue
+			}
+			if d.Kind != tc.kind || len(d.Clauses) != len(tc.clauses) {
+				t.Errorf("%q: got kind %v clauses %v", tc.line, d.Kind, d.Clauses)
+				continue
+			}
+			for i, c := range tc.clauses {
+				if d.Clauses[i] != c {
+					t.Errorf("%q clause %d: got %v want %v", tc.line, i, d.Clauses[i], c)
+				}
+			}
+		}
+	}
+}
+
+func TestPredSetClosure(t *testing.T) {
+	if !Positive.Set().Has(NonZero) || !Positive.Set().Has(NonNegative) {
+		t.Error("positive must imply nonzero and nonnegative")
+	}
+	if !Normalized.Set().Has(UnitInterval) || !Normalized.Set().Has(NonNegative) {
+		t.Error("normalized must imply unitinterval and nonnegative")
+	}
+	if !UnitInterval.Set().Has(NonNegative) {
+		t.Error("unitinterval must imply nonnegative")
+	}
+	if NonZero.Set().Has(NonNegative) || Finite.Set().Has(NonZero) {
+		t.Error("unexpected implication")
+	}
+}
+
+func load(t *testing.T, src string) *callgraph.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &callgraph.Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func compute(t *testing.T, src string) (*Set, []Issue) {
+	t.Helper()
+	p := load(t, src)
+	g := callgraph.Build([]*callgraph.Package{p})
+	contracts, issues := CollectContracts([]*callgraph.Package{p})
+	s := Compute(g, contracts, Options{
+		InferBody: func(*callgraph.Package, *ast.FuncDecl) bool { return true },
+	})
+	return s, issues
+}
+
+func sumOf(t *testing.T, s *Set, name string) *Summary {
+	t.Helper()
+	for fn, sum := range s.sums {
+		if fn.Name() == name {
+			return sum
+		}
+	}
+	t.Fatalf("no summary for %q", name)
+	return nil
+}
+
+const ensuresSrc = `package p
+
+func one() float64 { return 1 }
+
+func clamp(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// countdown recurses back to its base case.
+func countdown(n float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return countdown(n - 1)
+}
+
+func evenStep(n float64) float64 {
+	if n <= 0 {
+		return 0.5
+	}
+	return oddStep(n - 1)
+}
+
+func oddStep(n float64) float64 { return evenStep(n - 1) }
+
+func badBase(n float64) float64 {
+	if n <= 0 {
+		return -1
+	}
+	return badBase(n - 1)
+}
+
+func zeros(n int) []float64 { return make([]float64, n) }
+
+func viaEnsure() []float64 {
+	v := zeros(3)
+	return v
+}
+
+func normalizeVec(v []float64) []float64 { return v }
+
+func renormed(n int) []float64 {
+	v := make([]float64, n)
+	v[0] = 2
+	return normalizeVec(v)
+}
+
+func dirty(n int) []float64 {
+	v := make([]float64, n)
+	v[0] = 2
+	return v
+}
+
+// declaredOnly promises what the body cannot prove statically.
+//
+//numlint:ensures finite
+func declaredOnly(x float64) float64 { return x * 2 }
+`
+
+func TestComputeEnsures(t *testing.T) {
+	s, issues := compute(t, ensuresSrc)
+	if len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+	cases := []struct {
+		fn   string
+		idx  int
+		want PredSet
+	}{
+		{"one", 0, Positive.Set() | UnitInterval.Set() | Finite.Set()},
+		{"clamp", 0, NonNegative.Set()},
+		{"countdown", 0, Positive.Set() | UnitInterval.Set() | Finite.Set()},
+		{"evenStep", 0, Positive.Set() | UnitInterval.Set() | Finite.Set()},
+		{"oddStep", 0, Positive.Set() | UnitInterval.Set() | Finite.Set()},
+		{"badBase", 0, NonZero.Set() | Finite.Set()},
+		{"zeros", 0, UnitInterval.Set() | Finite.Set()},
+		{"viaEnsure", 0, UnitInterval.Set() | Finite.Set()},
+		{"renormed", 0, Normalized.Set()},
+		{"dirty", 0, 0},
+	}
+	for _, tc := range cases {
+		sum := sumOf(t, s, tc.fn)
+		if got := sum.Proven[tc.idx]; got != tc.want {
+			t.Errorf("%s: proven %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+	// Declared-but-unproven clauses still reach Ensures (the runtime
+	// shim backs them) without polluting Proven.
+	d := sumOf(t, s, "declaredOnly")
+	if d.Proven[0].Has(Finite) {
+		t.Error("declaredOnly: finite must not be statically proven")
+	}
+	if !d.Ensures[0].Has(Finite) {
+		t.Error("declaredOnly: declared finite must reach Ensures")
+	}
+}
+
+// TestFixedPointStable re-runs every node's transfer after Compute and
+// demands nothing moves: summaries are a fixed point, including on the
+// recursive (countdown, badBase) and mutually recursive
+// (evenStep/oddStep) fixtures.
+func TestFixedPointStable(t *testing.T) {
+	s, _ := compute(t, ensuresSrc)
+	for fn, sum := range s.sums {
+		if s.update(sum.Node) {
+			t.Errorf("summary of %s changed on re-evaluation: not a fixed point", fn.Name())
+		}
+	}
+}
+
+const requiresSrc = `package p
+
+import "math"
+
+func inv(d float64) float64 { return 1 / d }
+
+func lg(x float64) float64 { return math.Log(x) }
+
+func root(x float64) float64 { return math.Sqrt(x) }
+
+// propagate passes its parameter to a callee that divides by it.
+func propagate(x float64) float64 { return inv(x) }
+
+func guarded(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return inv(x)
+}
+
+func shortCircuit(x float64) float64 {
+	if x != 0 && 1/x > 2 {
+		return 1
+	}
+	return 0
+}
+
+// declared carries its obligation as a contract, so nothing is
+// inferred on top of it.
+//
+//numlint:requires nonzero(d)
+func declared(d float64) float64 { return 1 / d }
+`
+
+func TestComputeRequires(t *testing.T) {
+	s, issues := compute(t, requiresSrc)
+	if len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+	cases := []struct {
+		fn       string
+		idx      int
+		inferred PredSet
+	}{
+		{"inv", 0, NonZero.Set()},
+		{"lg", 0, Positive.Set()},
+		{"root", 0, NonNegative.Set()},
+		{"propagate", 0, NonZero.Set()}, // lifted from inv
+		{"guarded", 0, 0},
+		{"shortCircuit", 0, 0}, // conjunct guard counts
+	}
+	for _, tc := range cases {
+		sum := sumOf(t, s, tc.fn)
+		if got := sum.InferredRequires[tc.idx]; got != tc.inferred {
+			t.Errorf("%s: inferred %v, want %v", tc.fn, got, tc.inferred)
+		}
+	}
+	d := sumOf(t, s, "declared")
+	if d.InferredRequires[0] != 0 {
+		t.Errorf("declared: obligation should be discharged by the contract, inferred %v", d.InferredRequires[0])
+	}
+	if !d.Requires[0].Has(NonZero) {
+		t.Error("declared: contract requires missing")
+	}
+}
+
+const contextSrc = `package p
+
+func use(d float64) float64 { return d }
+
+func entryA(x float64) float64 {
+	if x > 0 {
+		return use(x)
+	}
+	return 0
+}
+
+func entryB(y float64) float64 {
+	if y != 0 {
+		return use(y)
+	}
+	return 0
+}
+
+func mixed(d float64) float64 { return d }
+
+func callMixed(x float64) float64 {
+	if x > 0 {
+		_ = mixed(x)
+	}
+	return mixed(x) // unguarded second site
+}
+
+func Exported(d float64) float64 { return d }
+
+func callExported() float64 { return Exported(1) }
+
+func escaped(d float64) float64 { return d }
+
+func grab() func(float64) float64 { return escaped }
+`
+
+func TestContextFacts(t *testing.T) {
+	s, _ := compute(t, contextSrc)
+	// Every visible site guards: meet of Positive and NonZero.
+	if got := sumOf(t, s, "use").Context[0]; got != NonZero.Set() {
+		t.Errorf("use: context %v, want nonzero", got)
+	}
+	// One unguarded site drains the meet.
+	if got := sumOf(t, s, "mixed").Context[0]; got != 0 {
+		t.Errorf("mixed: context %v, want none", got)
+	}
+	// Exported functions outside internal/ are not trusted.
+	if got := sumOf(t, s, "Exported").Context[0]; got != 0 {
+		t.Errorf("Exported: context %v, want none", got)
+	}
+	// Address-taken functions have invisible call sites.
+	if got := sumOf(t, s, "escaped").Context[0]; got != 0 {
+		t.Errorf("escaped: context %v, want none", got)
+	}
+}
+
+const issueSrc = `package p
+
+//numlint:requires positive(nope)
+func a(x float64) float64 { return x }
+
+//numlint:requires normalized(x)
+func b(x float64) float64 { return x }
+
+//numlint:ensures positive
+func c(v []float64) []float64 { return v }
+
+//numlint:requires positive(s)
+func d(s string) string { return s }
+
+//numlint:requires bogus(x
+func e(x float64) float64 { return x }
+`
+
+func TestContractIssues(t *testing.T) {
+	p := load(t, issueSrc)
+	_, issues := CollectContracts([]*callgraph.Package{p})
+	if len(issues) != 5 {
+		for _, is := range issues {
+			t.Logf("issue: %s", is.Msg)
+		}
+		t.Fatalf("got %d issues, want 5", len(issues))
+	}
+}

@@ -60,6 +60,20 @@ func newLoader(modDir, modPath string, tags []string) *loader {
 	}
 }
 
+// loaded returns every successfully loaded package — requested patterns
+// and their transitive module-local imports — sorted by import path, so
+// interprocedural passes see one deterministic module-wide view.
+func (l *loader) loaded() []*packageInfo {
+	out := make([]*packageInfo, 0, len(l.pkgs))
+	for _, pi := range l.pkgs {
+		if pi.err == nil && !pi.loading && pi.pkg != nil {
+			out = append(out, pi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
 func findModule(dir string) (string, string, error) {

@@ -1,7 +1,7 @@
 // Command numlint is the repository's numeric-safety and dataflow
 // linter.
 //
-// It runs nine custom analyzers tuned to the battery-lifetime pipeline
+// It runs ten custom analyzers tuned to the battery-lifetime pipeline
 // over module-local packages. Four are the per-expression checks from
 // PR 1:
 //
@@ -18,6 +18,18 @@
 //	ctxflow       calls that drop an in-scope context.Context
 //	sharedcapture unsynchronised goroutine mutation + unbalanced lock paths
 //	hotalloc      allocations inside //numlint:hotpath functions
+//
+// One is interprocedural, built on the module-wide call graph and
+// function summaries (internal/callgraph + internal/summary):
+//
+//	contract      //numlint:requires / ensures verification: bodies must
+//	              discharge declared ensures, call sites must satisfy
+//	              declared requires
+//
+// The same summaries feed naninf, divguard, and probconserve, so a
+// guard in every caller (or a callee's ensures) discharges obligations
+// across call boundaries. Run -gen-checks to emit debugchecks-tagged
+// runtime asserts for every contract (see docs/STATIC_ANALYSIS.md).
 //
 // Usage:
 //
@@ -58,6 +70,7 @@ var analyzers = []*Analyzer{
 	ctxflowAnalyzer,
 	sharedcaptureAnalyzer,
 	hotallocAnalyzer,
+	contractAnalyzer,
 }
 
 func main() {
@@ -73,8 +86,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
 	baselinePath := fs.String("baseline", "", "baseline file; findings matching it do not fail the run")
 	writeBaselinePath := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	genChecksFlag := fs.Bool("gen-checks", false, "write debugchecks runtime shims for every //numlint:requires/ensures contract, then exit")
+	verifyGenFlag := fs.Bool("verify-gen-checks", false, "fail if the generated contract shims are out of sync with the contracts (CI mode)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: numlint [-tags tag,...] [-pkgs p1,p2] [-json] [-baseline file] [-write-baseline file] [-v] [packages...]")
+		fmt.Fprintln(stderr, "usage: numlint [-tags tag,...] [-pkgs p1,p2] [-json] [-baseline file] [-write-baseline file] [-gen-checks | -verify-gen-checks] [-v] [packages...]")
 		fmt.Fprintln(stderr, "analyzers:")
 		for _, a := range analyzers {
 			fmt.Fprintf(stderr, "  %-13s %s\n", a.Name, a.Doc)
@@ -124,17 +139,34 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	var diags []Diagnostic
+	// Phase one: load every requested package (plus transitive deps via
+	// the import chain) so the interprocedural layer sees the whole set.
+	var pis []*packageInfo
 	for _, path := range paths {
 		if *verbose {
-			fmt.Fprintln(stderr, "numlint: analyzing", path)
+			fmt.Fprintln(stderr, "numlint: loading", path)
 		}
 		pi, err := l.load(path)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		diags = append(diags, runAnalyzers(pi, modPath)...)
+		pis = append(pis, pi)
+	}
+	inter := buildInter(l)
+
+	if *genChecksFlag || *verifyGenFlag {
+		return runGenChecks(genChecks(l, inter), *verifyGenFlag, stderr)
+	}
+
+	// Phase two: run the analyzers per requested package against the
+	// shared summaries.
+	var diags []Diagnostic
+	for _, pi := range pis {
+		if *verbose {
+			fmt.Fprintln(stderr, "numlint: analyzing", pi.path)
+		}
+		diags = append(diags, runAnalyzers(pi, modPath, inter)...)
 	}
 
 	if *writeBaselinePath != "" {

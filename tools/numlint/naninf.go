@@ -4,7 +4,16 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"batlife/tools/numlint/internal/summary"
 )
+
+// contextEstablishes reports whether every visible call site already
+// guarantees pred for obj (summary context facts) — interprocedurally
+// guarded code that used to need a //numlint:ignore.
+func contextEstablishes(pass *Pass, fd *ast.FuncDecl, obj types.Object, pred summary.Pred) bool {
+	return pass.Inter != nil && pass.Inter.contextPreds(pass.Info, fd, obj).Has(pred)
+}
 
 // naninfAnalyzer flags float-returning functions that divide by a
 // parameter, or take math.Log/Sqrt of a parameter-dependent expression,
@@ -39,6 +48,9 @@ func runNanInf(pass *Pass) {
 			}
 			if !returnsFloat(pass, fd) || docStatesPrecondition(fd.Doc) {
 				continue
+			}
+			if pass.Inter != nil && pass.Inter.hasRequiresContract(pass.Info, fd) {
+				continue // declared precondition: the contract analyzer owns it
 			}
 			params := floatParams(pass, fd)
 			if len(params) == 0 {
@@ -161,13 +173,18 @@ func checkBody(pass *Pass, fd *ast.FuncDecl, params, guarded map[types.Object]bo
 			if !isFloat(pass.Info.Types[e.X].Type) && !isFloat(pass.Info.Types[e.Y].Type) {
 				return true
 			}
-			if obj := unguardedParam(e.Y); obj != nil {
+			if obj := unguardedParam(e.Y); obj != nil && !contextEstablishes(pass, fd, obj, summary.NonZero) {
 				pass.Reportf(e.OpPos,
 					"possible NaN/Inf: %s divides by parameter %s without a guard or documented precondition",
 					fd.Name.Name, obj.Name())
 			}
 		case *ast.CallExpr:
-			if !isMathCall(pass.Info, e, "Log", "Log2", "Log10", "Sqrt") {
+			need := summary.Positive
+			switch {
+			case isMathCall(pass.Info, e, "Log", "Log2", "Log10"):
+			case isMathCall(pass.Info, e, "Sqrt"):
+				need = summary.NonNegative
+			default:
 				return true
 			}
 			if len(e.Args) != 1 {
@@ -176,7 +193,7 @@ func checkBody(pass *Pass, fd *ast.FuncDecl, params, guarded map[types.Object]bo
 			if tv := pass.Info.Types[e.Args[0]]; tv.Value != nil {
 				return true
 			}
-			if obj := unguardedParam(e.Args[0]); obj != nil {
+			if obj := unguardedParam(e.Args[0]); obj != nil && !contextEstablishes(pass, fd, obj, need) {
 				fn := calleeFunc(pass.Info, e)
 				pass.Reportf(e.Pos(),
 					"possible NaN/Inf: %s applies math.%s to parameter %s without a guard or documented precondition",

@@ -25,7 +25,7 @@ func loadFixture(t *testing.T, name string) []Diagnostic {
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", name, err)
 	}
-	return runAnalyzers(pi, modPath)
+	return runAnalyzers(pi, modPath, buildInter(l))
 }
 
 // keys reduces diagnostics to comparable "analyzer:line" strings.
@@ -125,6 +125,24 @@ func TestHotallocFixture(t *testing.T) {
 	})
 }
 
+// TestContractFixture pins the contract analyzer plus the
+// interprocedural behaviour of naninf and divguard: declared requires
+// enforced at call sites, ensures discharged (or not) by the body,
+// inferred obligations crossing call boundaries, and context facts
+// suppressing naninf for helpers guarded at every call site (ctxHelper
+// stays clean, leakHelper does not).
+func TestContractFixture(t *testing.T) {
+	assertFindings(t, loadFixture(t, "contract"), []string{
+		"contract:45",  // badScale: scale requires nonzero(d)
+		"naninf:57",    // leakHelper division, unguarded call site exists
+		"divguard:60",  // leakCaller hands x to leakHelper unguarded
+		"contract:90",  // distBad: ensures normalized not established
+		"contract:109", // clampBad: ensures positive not established
+		"contract:133", // feedBad: consume requires normalized(v)
+		"contract:136", // typoContract: unknown predicate
+	})
+}
+
 // TestRepoIsClean runs every analyzer over the whole module — the same
 // gate CI applies with `go run ./tools/numlint ./...` — so a finding
 // introduced anywhere in the tree fails the test suite too.
@@ -145,13 +163,46 @@ func TestRepoIsClean(t *testing.T) {
 	if len(paths) < 20 {
 		t.Fatalf("expected to discover the whole module, got %d packages: %v", len(paths), paths)
 	}
+	var pis []*packageInfo
 	for _, path := range paths {
 		pi, err := l.load(path)
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		for _, d := range runAnalyzers(pi, modPath) {
+		pis = append(pis, pi)
+	}
+	inter := buildInter(l)
+	for _, pi := range pis {
+		for _, d := range runAnalyzers(pi, modPath, inter) {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestBaselineFileIsEmpty pins the committed baseline to zero accepted
+// findings. TestRepoIsClean proves the raw finding count is zero; this
+// test makes sure a regression cannot be hidden by refreshing
+// .numlint-baseline.json instead of fixing (or explicitly ignoring) the
+// finding. If a baseline entry ever becomes genuinely necessary, update
+// this test in the same change with the justification.
+func TestBaselineFileIsEmpty(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modDir, _, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(modDir, ".numlint-baseline.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("baseline file: %v", err)
+	}
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range b.Findings {
+		t.Errorf("baseline accepts a finding: %s in %s: %s (count %d)", e.Analyzer, e.File, e.Message, e.count())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"batlife/tools/numlint/internal/flow"
+	"batlife/tools/numlint/internal/summary"
 )
 
 // probconserveAnalyzer enforces probability conservation on the solve
@@ -111,6 +112,13 @@ func isFloatSlice(t types.Type) bool {
 func checkProbFunc(pass *Pass, fd *ast.FuncDecl, normalized map[string]map[int]bool) {
 	namedResults, returnsVec := floatSliceResults(pass, fd)
 	if !returnsVec || funcDirective(fd, "normalized") {
+		return
+	}
+	if hasVectorEnsures(pass, fd) {
+		// A declared //numlint:ensures normalized/unitinterval contract
+		// supersedes this heuristic: the contract analyzer proves the
+		// property on every return and the generated debugchecks shim
+		// re-checks it at runtime.
 		return
 	}
 	g := flow.New(fd.Body)
@@ -223,6 +231,17 @@ func probStep(pass *Pass, s pcState, n ast.Node) pcState {
 						bless(obj)
 					}
 				}
+			} else if pass.Inter != nil {
+				// Contract-declared asserts bless the same way the
+				// hard-wired check.* names do.
+				for arg, ps := range pass.Inter.sums.VectorAssertPreds(pass.Info, e) {
+					if ps&summary.StaticMask(true) == 0 {
+						continue
+					}
+					if obj := sliceIdent(pass, arg); obj != nil {
+						bless(obj)
+					}
+				}
 			}
 		case *ast.AssignStmt:
 			// Blessing assignment: v = normalize(v).
@@ -273,7 +292,42 @@ func isConservationGuard(pass *Pass, call *ast.CallExpr) bool {
 
 func isNormalizeCall(pass *Pass, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	return ok && isConservationGuard(pass, call)
+	if !ok {
+		return false
+	}
+	if isConservationGuard(pass, call) {
+		return true
+	}
+	// A callee whose contract (declared or inferred through the summary
+	// fixed point) ensures a conservation predicate on its first vector
+	// result blesses the assigned vector, e.g. v = renormed(v) where
+	// renormed forwards a normalize-named helper.
+	if pass.Inter != nil {
+		return pass.Inter.sums.CallResultVectorPreds(pass.Info, call, 0)&summary.StaticMask(true) != 0
+	}
+	return false
+}
+
+// hasVectorEnsures reports whether fd declares an ensures clause on a
+// vector result.
+func hasVectorEnsures(pass *Pass, fd *ast.FuncDecl) bool {
+	if pass.Inter == nil {
+		return false
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	ct := pass.Inter.sums.ContractOf(fn)
+	if ct == nil {
+		return false
+	}
+	for _, cl := range ct.Ensures {
+		if cl.Vector {
+			return true
+		}
+	}
+	return false
 }
 
 func sliceIdent(pass *Pass, e ast.Expr) types.Object {

@@ -1,0 +1,137 @@
+// Package contract exercises the contract analyzer and the
+// interprocedural summaries consumed by naninf and divguard: declared
+// requires/ensures verification, assert-directive blessing, and
+// call-site context suppression.
+package contract
+
+// assertPositive panics unless every value is strictly greater than zero.
+//
+//numlint:asserts positive(xs)
+func assertPositive(xs ...float64) {
+	for _, v := range xs {
+		if !(v > 0) {
+			panic("assertPositive")
+		}
+	}
+}
+
+// assertProbs panics when v sums to zero, standing in for a real
+// distribution check.
+//
+//numlint:asserts normalized(v)
+func assertProbs(v []float64) {
+	s := 0.0
+	for _, p := range v {
+		s += p
+	}
+	if s == 0 {
+		panic("assertProbs")
+	}
+}
+
+// scale returns x scaled by 1/d.
+//
+//numlint:requires nonzero(d)
+func scale(x, d float64) float64 { return x / d }
+
+func goodScale(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return scale(1, x) // ok: the dominating guard discharges requires
+}
+
+func badScale(x float64) float64 {
+	return scale(1, x) // want contract: x not provably nonzero
+}
+
+func ctxHelper(d float64) float64 { return 1 / d } // ok: every call site guards d
+
+func ctxCaller(x float64) float64 {
+	if x > 0 {
+		return ctxHelper(x)
+	}
+	return 0
+}
+
+func leakHelper(d float64) float64 { return 2 / d } // want naninf: unguarded call site exists
+
+func leakCaller(x float64) float64 {
+	return leakHelper(x) // want divguard: inferred obligation unmet
+}
+
+func normalizeVec(v []float64) []float64 {
+	s := 0.0
+	for _, p := range v {
+		s += p
+	}
+	if s == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+// distOK fills a vector and normalizes it before returning.
+//
+//numlint:ensures normalized
+func distOK(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return normalizeVec(v) // ok: normalize-named callee establishes it
+}
+
+// distBad dirties the vector after blessing it.
+//
+//numlint:ensures normalized
+func distBad(n int) []float64 {
+	v := make([]float64, n)
+	assertProbs(v)
+	v[0] = 2
+	return v // the write above revokes the blessing
+}
+
+// clampOK discharges its promise with the assert shim.
+//
+//numlint:ensures positive
+func clampOK(x float64) float64 {
+	y := x*x + 1
+	assertPositive(y)
+	return y
+}
+
+// clampBad promises what the body never establishes.
+//
+//numlint:ensures positive
+func clampBad(x float64) float64 {
+	return x - 1
+}
+
+// consume folds a distribution into a scalar.
+//
+//numlint:requires normalized(v)
+func consume(v []float64) float64 {
+	s := 0.0
+	for _, p := range v {
+		s += p
+	}
+	return s
+}
+
+func feedOK(n int) float64 {
+	v := make([]float64, n)
+	return consume(normalizeVec(v)) // ok: callee ensures normalized
+}
+
+func feedBad(n int) float64 {
+	v := make([]float64, n)
+	v[0] = 2
+	return consume(v) // want contract: v not provably normalized
+}
+
+//numlint:requires positiv(x)
+func typoContract(x float64) float64 { return x } // want contract: unknown predicate
