@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race checks lint lint-flow fuzz gen-checks bench ci
+.PHONY: all build test race checks lint lint-flow fuzz gen-checks bench serve ci
 
 all: build test lint
 
@@ -67,6 +67,12 @@ bench:
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_solver.json
 	$(GO) test -bench='^BenchmarkObsOverhead$$' \
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_obs.json
+
+## serve: run the batlifed HTTP daemon locally (override the listen
+## address with ADDR, e.g. `make serve ADDR=:9000`). See docs/SERVICE.md.
+ADDR ?= :8418
+serve:
+	$(GO) run ./cmd/batlifed -addr $(ADDR)
 
 ## ci: everything the CI workflow gates on
 ci: lint lint-flow build test race checks

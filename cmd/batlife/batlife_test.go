@@ -135,6 +135,52 @@ func TestLoadSpec(t *testing.T) {
 	}
 }
 
+func TestLoadSpecCanonicalCodecForm(t *testing.T) {
+	// The CLI accepts the canonical v1 codec form (versioned, numeric
+	// currents) — one wire schema shared with the batlifed daemon — and
+	// loadSpec/loadPublicSpec agree on the decoded model.
+	path := writeTempSpec(t, `{
+		"version": 1,
+		"states": [
+			{"name": "idle", "current": 0.008},
+			{"name": "send", "current": 0.2}
+		],
+		"transitions": [
+			{"from": "idle", "to": "send", "rate_per_second": 0.5},
+			{"from": "send", "to": "idle", "rate_per_second": 0.25}
+		],
+		"initial": "idle"
+	}`)
+	m, err := loadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := loadPublicSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chain.NumStates() != 2 {
+		t.Fatalf("states = %d", m.Chain.NumStates())
+	}
+	if got := m.Currents[m.Chain.Index("send")]; got != 0.2 {
+		t.Errorf("send current = %v", got)
+	}
+	states, _, initial := w.Spec()
+	if len(states) != 2 || initial != "idle" {
+		t.Errorf("public spec: %d states, initial %q", len(states), initial)
+	}
+
+	// An undeclared transition endpoint is now a loud spec error.
+	bad := writeTempSpec(t, `{
+		"states": [{"name": "a", "current": "1A"}],
+		"transitions": [{"from": "a", "to": "ghost", "rate_per_second": 1}],
+		"initial": "a"
+	}`)
+	if _, err := loadSpec(bad); err == nil {
+		t.Error("undeclared endpoint accepted")
+	}
+}
+
 func TestLoadSpecErrors(t *testing.T) {
 	cases := []struct {
 		name string

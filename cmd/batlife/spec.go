@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 
+	"batlife"
 	"batlife/internal/ctmc"
 	"batlife/internal/kibam"
 	"batlife/internal/mrm"
@@ -25,7 +26,7 @@ type workloadFlags struct {
 func addWorkloadFlags(fs *flag.FlagSet) workloadFlags {
 	return workloadFlags{
 		name: fs.String("workload", "simple", "built-in workload: simple, burst, onoff (ignored with -spec)"),
-		spec: fs.String("spec", "", "path to a JSON workload specification"),
+		spec: fs.String("spec", "", "path to a JSON workload specification (batlife v1 codec)"),
 		freq: fs.Float64("freq-onoff", 1, "on/off workload switching frequency in Hz"),
 		k:    fs.Int("erlang", 1, "on/off workload Erlang order"),
 		on:   fs.String("on-current", "0.96A", "on/off workload on-phase current"),
@@ -34,7 +35,11 @@ func addWorkloadFlags(fs *flag.FlagSet) workloadFlags {
 
 func (wf workloadFlags) model() (*workload.Model, error) {
 	if *wf.spec != "" {
-		return loadSpec(*wf.spec)
+		w, err := loadPublicSpec(*wf.spec)
+		if err != nil {
+			return nil, err
+		}
+		return internalModel(w)
 	}
 	switch *wf.name {
 	case "simple":
@@ -65,12 +70,15 @@ func (wf workloadFlags) kibamrm(battery kibam.Params) (mrm.KiBaMRM, error) {
 	}, nil
 }
 
-// specFile is the JSON schema for custom workloads:
+// loadPublicSpec reads a workload specification through the public
+// batlife JSON codec — the same wire schema the batlifed daemon
+// accepts, so one spec file drives both the CLI and the service:
 //
 //	{
+//	  "version": 1,
 //	  "states": [
 //	    {"name": "idle", "current": "8mA"},
-//	    {"name": "send", "current": "200mA"}
+//	    {"name": "send", "current": 0.2}
 //	  ],
 //	  "transitions": [
 //	    {"from": "idle", "to": "send", "rate_per_hour": 2},
@@ -78,65 +86,55 @@ func (wf workloadFlags) kibamrm(battery kibam.Params) (mrm.KiBaMRM, error) {
 //	  ],
 //	  "initial": "idle"
 //	}
-type specFile struct {
-	States []struct {
-		Name    string `json:"name"`
-		Current string `json:"current"`
-	} `json:"states"`
-	Transitions []struct {
-		From          string  `json:"from"`
-		To            string  `json:"to"`
-		RatePerHour   float64 `json:"rate_per_hour"`
-		RatePerSecond float64 `json:"rate_per_second"`
-	} `json:"transitions"`
-	Initial string `json:"initial"`
-}
-
-func loadSpec(path string) (*workload.Model, error) {
+//
+// Currents are numbers in amperes or unit strings; "version" may be
+// omitted (treated as 1). Decoding validates: anything that loads is a
+// usable model.
+func loadPublicSpec(path string) (*batlife.Workload, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("read spec: %w", err)
 	}
-	var spec specFile
-	if err := json.Unmarshal(data, &spec); err != nil {
-		return nil, fmt.Errorf("parse spec %s: %w", path, err)
+	var w batlife.Workload
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
 	}
-	if len(spec.States) == 0 {
-		return nil, fmt.Errorf("spec %s: no states", path)
+	return &w, nil
+}
+
+// loadSpec loads a spec file for the internal-model commands; it
+// decodes through the public codec and decompiles the result, so both
+// paths accept exactly one schema.
+func loadSpec(path string) (*workload.Model, error) {
+	w, err := loadPublicSpec(path)
+	if err != nil {
+		return nil, err
 	}
+	return internalModel(w)
+}
+
+// internalModel rebuilds the internal workload model from a public
+// Workload via its decompiled specification.
+func internalModel(w *batlife.Workload) (*workload.Model, error) {
+	states, transitions, initial := w.Spec()
 	var b ctmc.Builder
-	for _, s := range spec.States {
+	for _, s := range states {
 		b.State(s.Name)
 	}
-	for _, tr := range spec.Transitions {
-		rate := tr.RatePerSecond
-		if tr.RatePerHour != 0 {
-			if rate != 0 {
-				return nil, fmt.Errorf("spec %s: transition %s->%s sets both rate units", path, tr.From, tr.To)
-			}
-			rate = units.PerHour(tr.RatePerHour).PerSecond()
-		}
-		b.Transition(tr.From, tr.To, rate)
+	for _, tr := range transitions {
+		b.Transition(tr.From, tr.To, tr.RatePerSec)
 	}
 	chain, err := b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("spec %s: %w", path, err)
+		return nil, err
 	}
 	currents := make([]float64, chain.NumStates())
-	for _, s := range spec.States {
-		cur, err := units.ParseCurrent(s.Current)
-		if err != nil {
-			return nil, fmt.Errorf("spec %s, state %s: %w", path, s.Name, err)
-		}
-		currents[chain.Index(s.Name)] = cur.Amperes()
-	}
-	init := chain.Index(spec.Initial)
-	if init < 0 {
-		return nil, fmt.Errorf("spec %s: unknown initial state %q", path, spec.Initial)
+	for _, s := range states {
+		currents[chain.Index(s.Name)] = s.CurrentA
 	}
 	return &workload.Model{
 		Chain:    chain,
 		Currents: currents,
-		Initial:  chain.PointDistribution(init),
+		Initial:  chain.PointDistribution(chain.Index(initial)),
 	}, nil
 }

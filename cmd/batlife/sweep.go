@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -166,41 +165,4 @@ func (wf workloadFlags) public() (*batlife.Workload, error) {
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want simple, burst or onoff)", *wf.name)
 	}
-}
-
-// loadPublicSpec reads the same JSON schema as loadSpec but builds the
-// public Workload type.
-func loadPublicSpec(path string) (*batlife.Workload, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("read spec: %w", err)
-	}
-	var spec specFile
-	if err := json.Unmarshal(data, &spec); err != nil {
-		return nil, fmt.Errorf("parse spec %s: %w", path, err)
-	}
-	states := make([]batlife.StateSpec, len(spec.States))
-	for i, s := range spec.States {
-		cur, err := units.ParseCurrent(s.Current)
-		if err != nil {
-			return nil, fmt.Errorf("spec %s, state %s: %w", path, s.Name, err)
-		}
-		states[i] = batlife.StateSpec{Name: s.Name, CurrentA: cur.Amperes()}
-	}
-	transitions := make([]batlife.TransitionSpec, len(spec.Transitions))
-	for i, tr := range spec.Transitions {
-		rate := tr.RatePerSecond
-		if tr.RatePerHour != 0 {
-			if rate != 0 {
-				return nil, fmt.Errorf("spec %s: transition %s->%s sets both rate units", path, tr.From, tr.To)
-			}
-			rate = units.PerHour(tr.RatePerHour).PerSecond()
-		}
-		transitions[i] = batlife.TransitionSpec{From: tr.From, To: tr.To, RatePerSec: rate}
-	}
-	w, err := batlife.NewWorkload(states, transitions, spec.Initial)
-	if err != nil {
-		return nil, fmt.Errorf("spec %s: %w", path, err)
-	}
-	return w, nil
 }

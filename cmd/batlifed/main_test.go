@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"batlife"
+	"batlife/internal/api"
+)
+
+// startDaemon runs the daemon with an ephemeral port and returns its
+// base URL, the injected signal channel, and the exit-code future.
+func startDaemon(t *testing.T, extra ...string) (url string, sigs chan os.Signal, code chan int) {
+	t.Helper()
+	sigs = make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	code = make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	var logBuf bytes.Buffer
+	go func() { code <- run(args, sigs, ready, &logBuf) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sigs, code
+	case c := <-code:
+		t.Fatalf("daemon exited immediately with %d; log:\n%s", c, logBuf.String())
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+		return "", nil, nil
+	}
+}
+
+func solveBody(t *testing.T) []byte {
+	t.Helper()
+	w, err := batlife.NewWorkload(
+		[]batlife.StateSpec{{Name: "idle", CurrentA: 0.008}, {Name: "send", CurrentA: 0.2}},
+		[]batlife.TransitionSpec{
+			{From: "idle", To: "send", RatePerSec: 0.5},
+			{From: "send", To: "idle", RatePerSec: 0.25},
+		},
+		"idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.SolveRequest{
+		Battery:  batlife.Battery{CapacityAs: 7200, AvailableFraction: 1},
+		Workload: w,
+		Times:    []float64{10000, 20000, 40000},
+		Options:  batlife.AnalysisOptions{Delta: 200},
+	}
+	raw, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	url, sigs, code := startDaemon(t, "-trace-out", traceFile)
+
+	// Liveness and readiness.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+
+	// A real end-to-end solve.
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(solveBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve = %d, body = %s", resp.StatusCode, body)
+	}
+	var sr api.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Result == nil || len(sr.Result.EmptyProb) != 3 {
+		t.Fatalf("solve result = %+v", sr)
+	}
+	last := sr.Result.EmptyProb[len(sr.Result.EmptyProb)-1]
+	if last <= 0 || last > 1 {
+		t.Errorf("CDF tail = %v, want in (0, 1]", last)
+	}
+
+	// Metrics are live.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("service_requests_solve_total")) {
+		t.Errorf("/metrics = %d, service counters missing", resp.StatusCode)
+	}
+
+	// SIGTERM: graceful drain, clean exit, telemetry flushed.
+	sigs <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != exitOK {
+			t.Fatalf("exit code = %d, want %d", c, exitOK)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !json.Valid(raw) {
+		t.Error("trace file is not valid JSON")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, nil, nil, &buf); code != exitUsage {
+		t.Errorf("bad flag exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"stray"}, nil, nil, &buf); code != exitUsage {
+		t.Errorf("stray arg exit = %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(buf.String(), "unexpected arguments") {
+		t.Errorf("stray-arg message missing; log:\n%s", buf.String())
+	}
+}
+
+func TestDaemonListenFailure(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:-1"}, nil, nil, &buf); code != exitInternal {
+		t.Errorf("bad addr exit = %d, want %d", code, exitInternal)
+	}
+}

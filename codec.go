@@ -1,0 +1,363 @@
+package batlife
+
+// The v1 wire codec. Battery, Workload and AnalysisOptions marshal to a
+// stable, versioned JSON schema shared by every process boundary in the
+// repo — the batlife CLI's -spec files, the batlifed daemon's request
+// bodies (internal/api), and any user tooling that persists scenarios.
+// Decoding validates: a value that unmarshals without error is usable,
+// and every decode failure matches ErrBadArgument.
+//
+// The schema is additive-versioned: encoders always write "version": 1;
+// decoders accept a missing version (treated as 1, for files written
+// before the codec existed) and reject versions they do not know.
+// Unknown fields are rejected so typos fail loudly instead of silently
+// selecting defaults.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"batlife/internal/units"
+)
+
+// CodecVersion is the wire-schema version written by the marshalers and
+// the highest version the unmarshalers accept.
+const CodecVersion = 1
+
+// checkCodecVersion validates a decoded "version" field: 0 (absent)
+// and CodecVersion are acceptable.
+func checkCodecVersion(what string, v int) error {
+	if v != 0 && v != CodecVersion {
+		return fmt.Errorf("%w: %s: unsupported schema version %d (want %d)",
+			ErrBadArgument, what, v, CodecVersion)
+	}
+	return nil
+}
+
+// strictUnmarshal decodes data into v rejecting unknown fields, so
+// misspelt keys surface as errors instead of zero values.
+func strictUnmarshal(data []byte, v any, what string) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadArgument, what, err)
+	}
+	return nil
+}
+
+// batteryJSON is the v1 wire form of a Battery.
+type batteryJSON struct {
+	Version int `json:"version,omitempty"`
+	// CapacityAs is the capacity in ampere-seconds. On decode the
+	// string form "capacity" ("2000mAh") may be used instead.
+	CapacityAs        *float64 `json:"capacity_as,omitempty"`
+	Capacity          string   `json:"capacity,omitempty"`
+	AvailableFraction float64  `json:"available_fraction"`
+	FlowRatePerSec    float64  `json:"flow_rate_per_sec"`
+}
+
+// MarshalJSON encodes the battery in the v1 wire schema:
+//
+//	{"version":1,"capacity_as":7200,"available_fraction":0.625,"flow_rate_per_sec":4.5e-5}
+//
+// Invalid batteries do not encode; the error matches ErrBadArgument.
+func (b Battery) MarshalJSON() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	c := b.CapacityAs
+	return json.Marshal(batteryJSON{
+		Version:           CodecVersion,
+		CapacityAs:        &c,
+		AvailableFraction: b.AvailableFraction,
+		FlowRatePerSec:    b.FlowRate,
+	})
+}
+
+// UnmarshalJSON decodes the v1 wire schema, accepting the capacity
+// either as "capacity_as" (a number in ampere-seconds) or "capacity" (a
+// unit string such as "2000mAh"). The decoded battery is validated; all
+// failures match ErrBadArgument.
+func (b *Battery) UnmarshalJSON(data []byte) error {
+	var raw batteryJSON
+	if err := strictUnmarshal(data, &raw, "battery"); err != nil {
+		return err
+	}
+	if err := checkCodecVersion("battery", raw.Version); err != nil {
+		return err
+	}
+	var capacity float64
+	switch {
+	case raw.CapacityAs != nil && raw.Capacity != "":
+		return fmt.Errorf("%w: battery: capacity_as and capacity are mutually exclusive", ErrBadArgument)
+	case raw.CapacityAs != nil:
+		capacity = *raw.CapacityAs
+	case raw.Capacity != "":
+		c, err := units.ParseCharge(raw.Capacity)
+		if err != nil {
+			return fmt.Errorf("%w: battery capacity: %v", ErrBadArgument, err)
+		}
+		capacity = c.AmpereSeconds()
+	default:
+		return fmt.Errorf("%w: battery: missing capacity", ErrBadArgument)
+	}
+	decoded := Battery{
+		CapacityAs:        capacity,
+		AvailableFraction: raw.AvailableFraction,
+		FlowRate:          raw.FlowRatePerSec,
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*b = decoded
+	return nil
+}
+
+// workloadStateJSON is the wire form of one StateSpec. Current carries
+// either a number (amperes) or a unit string ("8mA").
+type workloadStateJSON struct {
+	Name    string          `json:"name"`
+	Current json.RawMessage `json:"current"`
+}
+
+// workloadTransJSON is the wire form of one TransitionSpec; exactly one
+// rate field may be set.
+type workloadTransJSON struct {
+	From          string  `json:"from"`
+	To            string  `json:"to"`
+	RatePerSecond float64 `json:"rate_per_second,omitempty"`
+	RatePerHour   float64 `json:"rate_per_hour,omitempty"`
+}
+
+// workloadJSON is the v1 wire form of a Workload.
+type workloadJSON struct {
+	Version     int                 `json:"version,omitempty"`
+	States      []workloadStateJSON `json:"states"`
+	Transitions []workloadTransJSON `json:"transitions"`
+	Initial     string              `json:"initial"`
+}
+
+// Spec decompiles the workload into the specification that NewWorkload
+// rebuilds it from: states in chain order with their currents,
+// transitions in row-major generator order, and the name of the initial
+// mode. It is the inverse of NewWorkload and the basis of the JSON
+// codec.
+func (w *Workload) Spec() (states []StateSpec, transitions []TransitionSpec, initial string) {
+	chain := w.model.Chain
+	n := chain.NumStates()
+	states = make([]StateSpec, n)
+	for i := 0; i < n; i++ {
+		states[i] = StateSpec{Name: chain.Name(i), CurrentA: w.model.Currents[i]}
+	}
+	gen := chain.Generator()
+	for r := 0; r < gen.Rows(); r++ {
+		gen.Row(r, func(col int, v float64) {
+			if col != r && v > 0 {
+				transitions = append(transitions, TransitionSpec{
+					From: chain.Name(r), To: chain.Name(col), RatePerSec: v,
+				})
+			}
+		})
+	}
+	// Every public constructor starts in a single mode; report the mode
+	// holding the largest initial mass so Spec stays total.
+	best := 0
+	for i, p := range w.model.Initial {
+		if p > w.model.Initial[best] {
+			best = i
+		}
+	}
+	return states, transitions, chain.Name(best)
+}
+
+// MarshalJSON encodes the workload in the v1 wire schema:
+//
+//	{
+//	  "version": 1,
+//	  "states": [{"name": "idle", "current": 0.008}, ...],
+//	  "transitions": [{"from": "idle", "to": "send", "rate_per_second": 0.000555}, ...],
+//	  "initial": "idle"
+//	}
+//
+// Currents are written in amperes and rates in 1/s; decoders also
+// accept unit strings for currents ("8mA") and "rate_per_hour" for
+// rates. The output is deterministic: states in chain order,
+// transitions in row-major generator order.
+func (w *Workload) MarshalJSON() ([]byte, error) {
+	states, transitions, initial := w.Spec()
+	out := workloadJSON{
+		Version:     CodecVersion,
+		States:      make([]workloadStateJSON, len(states)),
+		Transitions: make([]workloadTransJSON, len(transitions)),
+		Initial:     initial,
+	}
+	for i, s := range states {
+		cur, err := json.Marshal(s.CurrentA)
+		if err != nil {
+			return nil, fmt.Errorf("batlife: workload state %s: %w", s.Name, err)
+		}
+		out.States[i] = workloadStateJSON{Name: s.Name, Current: cur}
+	}
+	for i, tr := range transitions {
+		out.Transitions[i] = workloadTransJSON{From: tr.From, To: tr.To, RatePerSecond: tr.RatePerSec}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the v1 wire schema and builds the workload
+// through NewWorkload, so a value that decodes is a valid model; all
+// failures match ErrBadArgument.
+func (w *Workload) UnmarshalJSON(data []byte) error {
+	var raw workloadJSON
+	if err := strictUnmarshal(data, &raw, "workload"); err != nil {
+		return err
+	}
+	if err := checkCodecVersion("workload", raw.Version); err != nil {
+		return err
+	}
+	states := make([]StateSpec, len(raw.States))
+	names := make(map[string]bool, len(raw.States))
+	for i, s := range raw.States {
+		if s.Name == "" {
+			return fmt.Errorf("%w: workload state %d: missing name", ErrBadArgument, i)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("%w: workload: duplicate state %q", ErrBadArgument, s.Name)
+		}
+		names[s.Name] = true
+		cur, err := decodeCurrent(s.Current)
+		if err != nil {
+			return fmt.Errorf("%w: workload state %q: %v", ErrBadArgument, s.Name, err)
+		}
+		states[i] = StateSpec{Name: s.Name, CurrentA: cur}
+	}
+	transitions := make([]TransitionSpec, len(raw.Transitions))
+	for i, tr := range raw.Transitions {
+		// NewWorkload's builder would silently create endpoint states;
+		// on the wire an undeclared endpoint is a spec error.
+		if !names[tr.From] || !names[tr.To] {
+			return fmt.Errorf("%w: workload transition %s->%s references an undeclared state",
+				ErrBadArgument, tr.From, tr.To)
+		}
+		rate := tr.RatePerSecond
+		if tr.RatePerHour != 0 {
+			if rate != 0 {
+				return fmt.Errorf("%w: workload transition %s->%s sets both rate units",
+					ErrBadArgument, tr.From, tr.To)
+			}
+			rate = units.PerHour(tr.RatePerHour).PerSecond()
+		}
+		transitions[i] = TransitionSpec{From: tr.From, To: tr.To, RatePerSec: rate}
+	}
+	decoded, err := NewWorkload(states, transitions, raw.Initial)
+	if err != nil {
+		// Builder failures (unknown endpoints, bad rates) are argument
+		// errors; normalise so every decode failure matches ErrBadArgument.
+		return wrapErr(err)
+	}
+	*w = *decoded
+	return nil
+}
+
+// decodeCurrent interprets a wire current: a JSON number is amperes, a
+// JSON string carries units ("8mA", "0.96A").
+func decodeCurrent(raw json.RawMessage) (float64, error) {
+	if len(raw) == 0 {
+		return 0, fmt.Errorf("missing current")
+	}
+	if raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return 0, err
+		}
+		cur, err := units.ParseCurrent(s)
+		if err != nil {
+			return 0, err
+		}
+		return cur.Amperes(), nil
+	}
+	var a float64
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return 0, err
+	}
+	return a, nil
+}
+
+// analysisOptionsJSON is the v1 wire form of AnalysisOptions. Only the
+// serialisable numerical knobs travel; Context, Progress and Report are
+// per-call process-local state.
+type analysisOptionsJSON struct {
+	Version int `json:"version,omitempty"`
+	// DeltaAs is the discretisation step in ampere-seconds; the string
+	// form "delta" ("5mAh") may be used instead on decode.
+	DeltaAs       *float64 `json:"delta_as,omitempty"`
+	Delta         string   `json:"delta,omitempty"`
+	Epsilon       float64  `json:"epsilon,omitempty"`
+	MaxIterations int      `json:"max_iterations,omitempty"`
+}
+
+// MarshalJSON encodes the serialisable options in the v1 wire schema:
+//
+//	{"version":1,"delta_as":18,"epsilon":1e-10,"max_iterations":500000}
+//
+// Options carrying process-local state (Context, Progress, Report) do
+// not encode; the error matches ErrBadArgument.
+func (o AnalysisOptions) MarshalJSON() ([]byte, error) {
+	if o.Context != nil || o.Progress != nil || o.Report != nil {
+		return nil, fmt.Errorf("%w: AnalysisOptions with Context, Progress or Report set cannot be serialised", ErrBadArgument)
+	}
+	out := analysisOptionsJSON{
+		Version:       CodecVersion,
+		Epsilon:       o.Epsilon,
+		MaxIterations: o.MaxIterations,
+	}
+	if o.Delta != 0 {
+		d := o.Delta
+		out.DeltaAs = &d
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the v1 wire schema, accepting the step either
+// as "delta_as" (ampere-seconds) or "delta" (a unit string such as
+// "5mAh"), and validates ranges: Delta and Epsilon must be finite and
+// non-negative, Epsilon below 1, MaxIterations non-negative. Absent
+// fields keep their zero-value semantics (engine defaults). Failures
+// match ErrBadArgument.
+func (o *AnalysisOptions) UnmarshalJSON(data []byte) error {
+	var raw analysisOptionsJSON
+	if err := strictUnmarshal(data, &raw, "options"); err != nil {
+		return err
+	}
+	if err := checkCodecVersion("options", raw.Version); err != nil {
+		return err
+	}
+	var decoded AnalysisOptions
+	switch {
+	case raw.DeltaAs != nil && raw.Delta != "":
+		return fmt.Errorf("%w: options: delta_as and delta are mutually exclusive", ErrBadArgument)
+	case raw.DeltaAs != nil:
+		decoded.Delta = *raw.DeltaAs
+	case raw.Delta != "":
+		d, err := units.ParseCharge(raw.Delta)
+		if err != nil {
+			return fmt.Errorf("%w: options delta: %v", ErrBadArgument, err)
+		}
+		decoded.Delta = d.AmpereSeconds()
+	}
+	if decoded.Delta < 0 || math.IsNaN(decoded.Delta) || math.IsInf(decoded.Delta, 0) {
+		return fmt.Errorf("%w: options: delta %v", ErrBadArgument, decoded.Delta)
+	}
+	if raw.Epsilon < 0 || raw.Epsilon >= 1 || math.IsNaN(raw.Epsilon) {
+		return fmt.Errorf("%w: options: epsilon %v (want 0 <= epsilon < 1)", ErrBadArgument, raw.Epsilon)
+	}
+	if raw.MaxIterations < 0 {
+		return fmt.Errorf("%w: options: max_iterations %d", ErrBadArgument, raw.MaxIterations)
+	}
+	decoded.Epsilon = raw.Epsilon
+	decoded.MaxIterations = raw.MaxIterations
+	*o = decoded
+	return nil
+}

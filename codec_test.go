@@ -1,0 +1,339 @@
+package batlife
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// twoState returns a small custom workload with a charging mode, the
+// codec's golden model.
+func twoState(t *testing.T) *Workload {
+	t.Helper()
+	w, err := NewWorkload(
+		[]StateSpec{{Name: "idle", CurrentA: 0.008}, {Name: "send", CurrentA: 0.2}},
+		[]TransitionSpec{
+			{From: "idle", To: "send", RatePerSec: 0.5},
+			{From: "send", To: "idle", RatePerSec: 0.25},
+		},
+		"idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBatteryJSONGolden(t *testing.T) {
+	got, err := json.Marshal(PaperBattery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"version":1,"capacity_as":7200,"available_fraction":0.625,"flow_rate_per_sec":0.000045}`
+	if string(got) != want {
+		t.Errorf("marshal = %s\nwant      %s", got, want)
+	}
+
+	var back Battery
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != PaperBattery() {
+		t.Errorf("round trip = %+v, want %+v", back, PaperBattery())
+	}
+}
+
+func TestBatteryJSONUnitString(t *testing.T) {
+	var b Battery
+	in := `{"capacity": "2000mAh", "available_fraction": 0.625, "flow_rate_per_sec": 4.5e-5}`
+	if err := json.Unmarshal([]byte(in), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b != PaperBattery() {
+		t.Errorf("decoded %+v, want %+v", b, PaperBattery())
+	}
+}
+
+func TestBatteryJSONDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"missing capacity", `{"available_fraction":0.625,"flow_rate_per_sec":4.5e-5}`},
+		{"both capacities", `{"capacity_as":7200,"capacity":"2000mAh","available_fraction":0.625,"flow_rate_per_sec":4.5e-5}`},
+		{"bad unit", `{"capacity":"2000parsec","available_fraction":0.625,"flow_rate_per_sec":4.5e-5}`},
+		{"invalid battery", `{"capacity_as":-1,"available_fraction":0.625,"flow_rate_per_sec":4.5e-5}`},
+		{"fraction out of range", `{"capacity_as":7200,"available_fraction":1.5,"flow_rate_per_sec":4.5e-5}`},
+		{"unknown field", `{"capacity_as":7200,"available_fraction":0.625,"flow_rate_per_sec":4.5e-5,"chemistry":"LiIon"}`},
+		{"future version", `{"version":2,"capacity_as":7200,"available_fraction":0.625,"flow_rate_per_sec":4.5e-5}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b Battery
+			err := json.Unmarshal([]byte(tc.in), &b)
+			if !errors.Is(err, ErrBadArgument) {
+				t.Errorf("err = %v, want ErrBadArgument", err)
+			}
+		})
+	}
+}
+
+func TestInvalidBatteryDoesNotMarshal(t *testing.T) {
+	_, err := json.Marshal(Battery{CapacityAs: -1, AvailableFraction: 0.5, FlowRate: 1e-5})
+	if !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v, want ErrBadArgument", err)
+	}
+}
+
+func TestWorkloadJSONGolden(t *testing.T) {
+	got, err := json.Marshal(twoState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"version":1,` +
+		`"states":[{"name":"idle","current":0.008},{"name":"send","current":0.2}],` +
+		`"transitions":[{"from":"idle","to":"send","rate_per_second":0.5},{"from":"send","to":"idle","rate_per_second":0.25}],` +
+		`"initial":"idle"}`
+	if string(got) != want {
+		t.Errorf("marshal = %s\nwant      %s", got, want)
+	}
+}
+
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		make func() (*Workload, error)
+	}{
+		{"custom", func() (*Workload, error) {
+			w := twoState(t)
+			return w, nil
+		}},
+		{"onoff erlang3", func() (*Workload, error) { return OnOffWorkload(1, 3, 0.96) }},
+		{"simple", SimpleWireless},
+		{"burst", BurstWireless},
+		{"charging", func() (*Workload, error) {
+			return NewWorkload(
+				[]StateSpec{{Name: "drain", CurrentA: 0.1}, {Name: "charge", CurrentA: -0.05}},
+				[]TransitionSpec{
+					{From: "drain", To: "charge", RatePerSec: 1e-3},
+					{From: "charge", To: "drain", RatePerSec: 2e-3},
+				},
+				"drain")
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := tc.make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.Marshal(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Workload
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			again, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(data) {
+				t.Errorf("round trip drifted:\n first %s\nsecond %s", data, again)
+			}
+			// The rebuilt model must behave identically, not just print
+			// identically.
+			if back.charging != w.charging {
+				t.Errorf("charging = %v, want %v", back.charging, w.charging)
+			}
+			m1, err1 := w.MeanCurrent()
+			m2, err2 := back.MeanCurrent()
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("MeanCurrent errors diverge: %v vs %v", err1, err2)
+			}
+			//numlint:ignore floatcmp identical construction must give bit-identical results
+			if err1 == nil && m1 != m2 {
+				t.Errorf("MeanCurrent = %v, want %v", m2, m1)
+			}
+		})
+	}
+}
+
+func TestWorkloadJSONUnitStringsAndHourlyRates(t *testing.T) {
+	// The legacy CLI -spec schema: unit-string currents and per-hour
+	// rates must decode to the same model as the canonical form.
+	legacy := `{
+	  "states": [
+	    {"name": "idle", "current": "8mA"},
+	    {"name": "send", "current": "200mA"}
+	  ],
+	  "transitions": [
+	    {"from": "idle", "to": "send", "rate_per_hour": 1800},
+	    {"from": "send", "to": "idle", "rate_per_second": 0.25}
+	  ],
+	  "initial": "idle"
+	}`
+	var w Workload
+	if err := json.Unmarshal([]byte(legacy), &w); err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := json.Marshal(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(twoState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(canonical) != string(want) {
+		t.Errorf("legacy spec decoded to %s\nwant %s", canonical, want)
+	}
+}
+
+func TestWorkloadJSONDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no states", `{"states":[],"transitions":[],"initial":"idle"}`},
+		{"unknown initial", `{"states":[{"name":"idle","current":0.008}],"transitions":[],"initial":"nope"}`},
+		{"both rate units", `{"states":[{"name":"a","current":1},{"name":"b","current":1}],"transitions":[{"from":"a","to":"b","rate_per_second":1,"rate_per_hour":1}],"initial":"a"}`},
+		{"unknown transition endpoint", `{"states":[{"name":"a","current":1}],"transitions":[{"from":"a","to":"b","rate_per_second":1}],"initial":"a"}`},
+		{"bad current unit", `{"states":[{"name":"a","current":"8knots"}],"transitions":[],"initial":"a"}`},
+		{"missing current", `{"states":[{"name":"a"}],"transitions":[],"initial":"a"}`},
+		{"unknown field", `{"states":[{"name":"a","current":1}],"transitions":[],"initial":"a","color":"red"}`},
+		{"future version", `{"version":7,"states":[{"name":"a","current":1}],"transitions":[],"initial":"a"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var w Workload
+			err := json.Unmarshal([]byte(tc.in), &w)
+			if !errors.Is(err, ErrBadArgument) {
+				t.Errorf("err = %v, want ErrBadArgument", err)
+			}
+		})
+	}
+}
+
+func TestAnalysisOptionsJSONGolden(t *testing.T) {
+	got, err := json.Marshal(AnalysisOptions{Delta: 18, Epsilon: 1e-10, MaxIterations: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"version":1,"delta_as":18,"epsilon":1e-10,"max_iterations":500000}`
+	if string(got) != want {
+		t.Errorf("marshal = %s\nwant      %s", got, want)
+	}
+	var back AnalysisOptions
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	//numlint:ignore floatcmp round trip must be exact
+	if back.Delta != 18 || back.Epsilon != 1e-10 || back.MaxIterations != 500000 {
+		t.Errorf("round trip = %+v", back)
+	}
+
+	// The zero value stays minimal on the wire.
+	zero, err := json.Marshal(AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(zero) != `{"version":1}` {
+		t.Errorf("zero marshal = %s", zero)
+	}
+}
+
+func TestAnalysisOptionsJSONUnitDelta(t *testing.T) {
+	var o AnalysisOptions
+	if err := json.Unmarshal([]byte(`{"delta":"5mAh"}`), &o); err != nil {
+		t.Fatal(err)
+	}
+	//numlint:ignore floatcmp 5 mAh is exactly 18 As
+	if o.Delta != 18 {
+		t.Errorf("Delta = %v, want 18", o.Delta)
+	}
+}
+
+func TestAnalysisOptionsJSONErrors(t *testing.T) {
+	decode := []struct {
+		name, in string
+	}{
+		{"negative delta", `{"delta_as":-1}`},
+		{"both deltas", `{"delta_as":18,"delta":"5mAh"}`},
+		{"epsilon too large", `{"epsilon":1}`},
+		{"negative epsilon", `{"epsilon":-0.5}`},
+		{"negative budget", `{"max_iterations":-2}`},
+		{"unknown field", `{"delta_as":18,"progress":true}`},
+		{"future version", `{"version":3,"delta_as":18}`},
+	}
+	for _, tc := range decode {
+		t.Run(tc.name, func(t *testing.T) {
+			var o AnalysisOptions
+			err := json.Unmarshal([]byte(tc.in), &o)
+			if !errors.Is(err, ErrBadArgument) {
+				t.Errorf("err = %v, want ErrBadArgument", err)
+			}
+		})
+	}
+
+	_, err := json.Marshal(AnalysisOptions{Delta: 18, Progress: func(int, int) {}})
+	if !errors.Is(err, ErrBadArgument) {
+		t.Errorf("marshal with Progress: err = %v, want ErrBadArgument", err)
+	}
+}
+
+func TestSpecDecompilesConstructorInput(t *testing.T) {
+	w := twoState(t)
+	states, transitions, initial := w.Spec()
+	if initial != "idle" {
+		t.Errorf("initial = %q, want idle", initial)
+	}
+	wantStates := []StateSpec{{Name: "idle", CurrentA: 0.008}, {Name: "send", CurrentA: 0.2}}
+	if len(states) != len(wantStates) {
+		t.Fatalf("states = %v", states)
+	}
+	for i := range wantStates {
+		if states[i] != wantStates[i] {
+			t.Errorf("state %d = %+v, want %+v", i, states[i], wantStates[i])
+		}
+	}
+	wantTrans := []TransitionSpec{
+		{From: "idle", To: "send", RatePerSec: 0.5},
+		{From: "send", To: "idle", RatePerSec: 0.25},
+	}
+	if len(transitions) != len(wantTrans) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range wantTrans {
+		if transitions[i] != wantTrans[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, transitions[i], wantTrans[i])
+		}
+	}
+}
+
+func TestWorkloadJSONSolveEquivalence(t *testing.T) {
+	// A decoded workload must be interchangeable with its source in an
+	// actual solve — the codec's end-to-end contract.
+	b := Battery{CapacityAs: 7200, AvailableFraction: 1}
+	src := twoState(t)
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Workload
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{20000, 40000}
+	s := NewSolver(SolverOptions{})
+	want, err := s.LifetimeDistribution(b, src, times, AnalysisOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LifetimeDistribution(b, &dec, times, AnalysisOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCurve(t, "decoded vs source", got.EmptyProb, want.EmptyProb)
+	// Content addressing must see one model, not two.
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit (identical fingerprints)", st)
+	}
+}

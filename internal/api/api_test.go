@@ -1,0 +1,228 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"batlife"
+)
+
+func twoState(t *testing.T) *batlife.Workload {
+	t.Helper()
+	w, err := batlife.NewWorkload(
+		[]batlife.StateSpec{{Name: "idle", CurrentA: 0.008}, {Name: "send", CurrentA: 0.2}},
+		[]batlife.TransitionSpec{
+			{From: "idle", To: "send", RatePerSec: 0.5},
+			{From: "send", To: "idle", RatePerSec: 0.25},
+		},
+		"idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func validSolve(t *testing.T) SolveRequest {
+	t.Helper()
+	return SolveRequest{
+		Battery:  batlife.Battery{CapacityAs: 7200, AvailableFraction: 1},
+		Workload: twoState(t),
+		Times:    []float64{1000, 2000, 4000},
+		Options:  batlife.AnalysisOptions{Delta: 100},
+	}
+}
+
+func TestSolveRequestValidate(t *testing.T) {
+	ok := validSolve(t)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*SolveRequest)
+	}{
+		{"unknown analysis", func(r *SolveRequest) { r.Analysis = "median" }},
+		{"zero battery", func(r *SolveRequest) { r.Battery = batlife.Battery{} }},
+		{"nil workload", func(r *SolveRequest) { r.Workload = nil }},
+		{"no times", func(r *SolveRequest) { r.Times = nil }},
+		{"negative time", func(r *SolveRequest) { r.Times = []float64{-1, 5} }},
+		{"descending times", func(r *SolveRequest) { r.Times = []float64{10, 5} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validSolve(t)
+			tc.mutate(&r)
+			if err := r.Validate(); !errors.Is(err, batlife.ErrBadArgument) {
+				t.Errorf("err = %v, want ErrBadArgument", err)
+			}
+		})
+	}
+
+	// "mean" needs no grid.
+	mean := validSolve(t)
+	mean.Analysis = AnalysisMean
+	mean.Times = nil
+	if err := mean.Validate(); err != nil {
+		t.Errorf("mean without times: %v", err)
+	}
+}
+
+func TestSweepRequestValidate(t *testing.T) {
+	sc := SweepScenario{
+		Name:     "base",
+		Battery:  batlife.Battery{CapacityAs: 7200, AvailableFraction: 1},
+		Workload: twoState(t),
+		DeltaAs:  100,
+		Times:    []float64{1000, 2000},
+	}
+	ok := SweepRequest{Scenarios: []SweepScenario{sc}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*SweepRequest)
+	}{
+		{"no scenarios", func(r *SweepRequest) { r.Scenarios = nil }},
+		{"zero battery", func(r *SweepRequest) { r.Scenarios[0].Battery = batlife.Battery{} }},
+		{"nil workload", func(r *SweepRequest) { r.Scenarios[0].Workload = nil }},
+		{"zero delta", func(r *SweepRequest) { r.Scenarios[0].DeltaAs = 0 }},
+		{"no times", func(r *SweepRequest) { r.Scenarios[0].Times = nil }},
+		{"descending times", func(r *SweepRequest) { r.Scenarios[0].Times = []float64{2, 1} }},
+		{"negative workers", func(r *SweepRequest) { r.Workers = -1 }},
+		{"epsilon out of range", func(r *SweepRequest) { r.Epsilon = 1 }},
+		{"negative budget", func(r *SweepRequest) { r.MaxIterations = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := SweepRequest{Scenarios: []SweepScenario{sc}}
+			r.Scenarios = append([]SweepScenario(nil), r.Scenarios...)
+			tc.mutate(&r)
+			if err := r.Validate(); !errors.Is(err, batlife.ErrBadArgument) {
+				t.Errorf("err = %v, want ErrBadArgument", err)
+			}
+		})
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	// Two textually different but semantically identical request bodies
+	// must land on the same job ID: the fingerprint hashes the canonical
+	// re-marshalled form, not the raw bytes.
+	bodyA := `{
+		"battery": {"capacity_as": 7200, "available_fraction": 1, "flow_rate_per_sec": 0},
+		"workload": {
+			"states": [{"name": "idle", "current": 0.008}, {"name": "send", "current": 0.2}],
+			"transitions": [
+				{"from": "idle", "to": "send", "rate_per_second": 0.5},
+				{"from": "send", "to": "idle", "rate_per_second": 0.25}
+			],
+			"initial": "idle"
+		},
+		"times": [1000, 2000, 4000],
+		"options": {"delta_as": 100}
+	}`
+	bodyB := `{
+		"options": {"version": 1, "delta_as": 100},
+		"times": [1e3, 2e3, 4e3],
+		"workload": {
+			"version": 1,
+			"states": [{"name": "idle", "current": "8mA"}, {"name": "send", "current": "200mA"}],
+			"transitions": [
+				{"from": "idle", "to": "send", "rate_per_hour": 1800},
+				{"from": "send", "to": "idle", "rate_per_hour": 900}
+			],
+			"initial": "idle"
+		},
+		"battery": {"capacity": "2000mAh", "available_fraction": 1, "flow_rate_per_sec": 0}
+	}`
+
+	var ra, rb SolveRequest
+	if err := json.Unmarshal([]byte(bodyA), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(bodyB), &rb); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := ra.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := rb.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("fingerprints differ: %s vs %s", fa, fb)
+	}
+	if !strings.HasPrefix(fa, "s-") {
+		t.Errorf("solve fingerprint %q not prefixed s-", fa)
+	}
+
+	// A changed payload changes the ID.
+	rc := ra
+	rc.Times = []float64{1000, 2000, 4000, 8000}
+	fc, err := rc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc == fa {
+		t.Error("different times produced identical fingerprints")
+	}
+}
+
+func TestFingerprintKindsDisjoint(t *testing.T) {
+	// A sweep over one scenario is a different job than the equivalent
+	// solve, even if their canonical bodies were to collide.
+	r := SweepRequest{Scenarios: []SweepScenario{{
+		Battery:  batlife.Battery{CapacityAs: 7200, AvailableFraction: 1},
+		Workload: twoState(t),
+		DeltaAs:  100,
+		Times:    []float64{1000},
+	}}}
+	f, err := r.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(f, "w-") {
+		t.Errorf("sweep fingerprint %q not prefixed w-", f)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	// A decoded request re-marshals to a stable canonical form: encode →
+	// decode → encode is a fixed point.
+	r := validSolve(t)
+	r.Analysis = AnalysisCDF
+	r.TimeoutSeconds = 30
+	first, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SolveRequest
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip not stable:\n first = %s\nsecond = %s", first, second)
+	}
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	raw, err := json.Marshal(ErrorResponse{Error: &Error{Code: "bad_argument", Message: "missing times"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"bad_argument","message":"missing times"}}`
+	if string(raw) != want {
+		t.Errorf("envelope = %s, want %s", raw, want)
+	}
+}

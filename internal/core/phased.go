@@ -35,35 +35,66 @@ func PhasedLifetimeCDF(phases []ModelPhase, delta float64, times []float64, opts
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("%w: no phases", ErrPhaseMismatch)
 	}
-	first, err := Build(phases[0].Model, delta, opts)
-	if err != nil {
-		return nil, err
-	}
-	chainPhases := make([]ctmc.Phase, len(phases))
-	chainPhases[0] = ctmc.Phase{Generator: first.gen, Duration: phases[0].Duration}
-	for i, ph := range phases[1:] {
-		if err := checkPhaseCompat(phases[0].Model, ph.Model); err != nil {
-			return nil, fmt.Errorf("phase %d: %w", i+1, err)
+	xs := make([]*Expanded, len(phases))
+	durations := make([]float64, len(phases))
+	for i, ph := range phases {
+		if i > 0 {
+			if err := checkPhaseCompat(phases[0].Model, ph.Model); err != nil {
+				return nil, fmt.Errorf("phase %d: %w", i, err)
+			}
 		}
 		e, err := Build(ph.Model, delta, opts)
 		if err != nil {
+			if i > 0 {
+				err = fmt.Errorf("phase %d: %w", i, err)
+			}
+			return nil, err
+		}
+		xs[i], durations[i] = e, ph.Duration
+	}
+	return PhasedLifetimeCDFExpanded(xs, durations, times, SolveOptions{
+		Epsilon:     opts.Epsilon,
+		Workers:     opts.Workers,
+		OnIteration: opts.OnIteration,
+	})
+}
+
+// PhasedLifetimeCDFExpanded runs the piecewise transient solve over
+// already-expanded phases — e.g. instances served by an engine cache —
+// with full SolveOptions threading (shared pool, iteration budget,
+// cancellation, telemetry). Phase i's chain is in force for
+// durations[i] seconds; the final duration may be +Inf. All phases must
+// share the battery, the workload state count and the step Δ, so the
+// probability vector can be handed across phase boundaries.
+func PhasedLifetimeCDFExpanded(phases []*Expanded, durations []float64, times []float64, so SolveOptions) (*Result, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("%w: no phases", ErrPhaseMismatch)
+	}
+	if len(durations) != len(phases) {
+		return nil, fmt.Errorf("%w: %d durations for %d phases", ErrPhaseMismatch, len(durations), len(phases))
+	}
+	first := phases[0]
+	chainPhases := make([]ctmc.Phase, len(phases))
+	chainPhases[0] = ctmc.Phase{Generator: first.gen, Duration: durations[0]}
+	for i, e := range phases[1:] {
+		if err := checkPhaseCompat(first.model, e.model); err != nil {
 			return nil, fmt.Errorf("phase %d: %w", i+1, err)
 		}
-		chainPhases[i+1] = ctmc.Phase{Generator: e.gen, Duration: ph.Duration}
+		//numlint:ignore floatcmp the grid step is a configuration constant shared verbatim across phases, not a computed value
+		if e.delta != first.delta {
+			return nil, fmt.Errorf("%w: phase %d step %v vs %v", ErrPhaseMismatch, i+1, e.delta, first.delta)
+		}
+		chainPhases[i+1] = ctmc.Phase{Generator: e.gen, Duration: durations[i+1]}
 	}
 
-	n := phases[0].Model.Workload.NumStates()
+	n := first.model.Workload.NumStates()
 	w := make([]float64, first.NumStates())
 	for j2 := 0; j2 < first.n2; j2++ {
 		for i := 0; i < n; i++ {
 			w[first.index(i, 0, j2)] = 1
 		}
 	}
-	res, err := ctmc.PiecewiseTransientFunctional(chainPhases, first.alpha, w, times, ctmc.TransientOptions{
-		Epsilon:     opts.Epsilon,
-		Workers:     opts.Workers,
-		OnIteration: opts.OnIteration,
-	})
+	res, err := ctmc.PiecewiseTransientFunctional(chainPhases, first.alpha, w, times, first.transientOpts(so))
 	if err != nil {
 		return nil, fmt.Errorf("core: phased lifetime CDF: %w", err)
 	}

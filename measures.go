@@ -1,12 +1,5 @@
 package batlife
 
-import (
-	"fmt"
-	"math"
-
-	"batlife/internal/core"
-)
-
 // ExpectedLifetime returns E[L], the mean battery lifetime in seconds,
 // computed on the Markovian approximation's expanded chain by solving
 // the absorption-time equations directly (no time grid needed). The
@@ -55,30 +48,11 @@ type WorkloadPhase struct {
 // that switches workloads at fixed instants — for example a light
 // night-time profile followed by a heavy daytime one. All phases run on
 // the same battery and must have the same number of workload states.
+//
+// Deprecated: Use [Solver.PhasedLifetimeDistribution], which serves
+// each phase's expanded CTMC from the model cache and accepts per-call
+// options (epsilon, iteration budget, cancellation, progress). This
+// wrapper delegates to [DefaultSolver] and produces identical output.
 func PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, deltaAs float64, times []float64) (*Distribution, error) {
-	if len(phases) == 0 {
-		return nil, fmt.Errorf("%w: no phases", ErrBadArgument)
-	}
-	mps := make([]core.ModelPhase, len(phases))
-	for i, ph := range phases {
-		if ph.Workload == nil {
-			return nil, fmt.Errorf("%w: nil workload in phase %d", ErrBadArgument, i)
-		}
-		d := ph.DurationSeconds
-		if d <= 0 && !math.IsInf(d, 1) {
-			return nil, fmt.Errorf("%w: phase %d duration %v", ErrBadArgument, i, d)
-		}
-		mps[i] = core.ModelPhase{Model: ph.Workload.kibamrm(b), Duration: d}
-	}
-	res, err := core.PhasedLifetimeCDF(mps, deltaAs, times, core.Options{})
-	if err != nil {
-		return nil, wrapErr(err)
-	}
-	return &Distribution{
-		Times:       res.Times,
-		EmptyProb:   res.EmptyProb,
-		States:      res.States,
-		Transitions: res.NNZ,
-		Iterations:  res.Iterations,
-	}, nil
+	return DefaultSolver().PhasedLifetimeDistribution(b, phases, times, AnalysisOptions{Delta: deltaAs})
 }

@@ -183,6 +183,7 @@ const (
 	kindMean
 	kindStranded
 	kindExact
+	kindPhased
 )
 
 // resultKey identifies one memoised analysis result.
@@ -252,6 +253,7 @@ func wrapErr(err error) error {
 		return err
 	}
 	if errors.Is(err, core.ErrBadGrid) || errors.Is(err, mrm.ErrBadModel) ||
+		errors.Is(err, core.ErrPhaseMismatch) ||
 		errors.Is(err, ctmc.ErrBadInput) || errors.Is(err, performability.ErrBadQuery) {
 		return fmt.Errorf("%w: %w", ErrBadArgument, err)
 	}
@@ -380,6 +382,111 @@ func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, o
 	}
 	if memoable {
 		// Durations are per-call; the memo stores only the model stats.
+		stored := rep
+		stored.BuildDuration, stored.SolveDuration = 0, 0
+		s.results.Put(key, memoEntry{val: d.clone(), rep: stored})
+	}
+	return d, nil
+}
+
+// phasedKey folds the per-phase model keys and durations into one
+// composite model identity for the result memo.
+func phasedKey(keys []engine.Key, durations []float64) engine.Key {
+	h := sha256.New()
+	var buf [8]byte
+	for i, k := range keys {
+		h.Write(k[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(durations[i]))
+		h.Write(buf[:])
+	}
+	var out engine.Key
+	h.Sum(out[:0])
+	return out
+}
+
+// PhasedLifetimeDistribution computes the lifetime CDF for a scenario
+// that switches workloads at fixed instants — for example a light
+// night-time profile followed by a heavy daytime one. All phases run on
+// the same battery, are discretised with opts.Delta, and must have the
+// same number of workload states. Each phase's expanded CTMC is served
+// by the solver's model cache (a day/night schedule over two workloads
+// expands each exactly once, however many queries follow), and whole
+// results are memoised like every other analysis.
+func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, times []float64, opts AnalysisOptions) (*Distribution, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("%w: no phases", ErrBadArgument)
+	}
+	if opts.Delta <= 0 || math.IsNaN(opts.Delta) {
+		return nil, fmt.Errorf("%w: discretisation step Delta %v (set AnalysisOptions.Delta to a positive divisor of the well capacities)",
+			ErrBadArgument, opts.Delta)
+	}
+	s.solves.Inc()
+	var start time.Time
+	if opts.Report != nil {
+		start = time.Now()
+	}
+	xs := make([]*core.Expanded, len(phases))
+	keys := make([]engine.Key, len(phases))
+	durations := make([]float64, len(phases))
+	allHit := true
+	for i, ph := range phases {
+		if ph.Workload == nil {
+			return nil, fmt.Errorf("%w: nil workload in phase %d", ErrBadArgument, i)
+		}
+		d := ph.DurationSeconds
+		if d <= 0 && !math.IsInf(d, 1) {
+			return nil, fmt.Errorf("%w: phase %d duration %v", ErrBadArgument, i, d)
+		}
+		model := ph.Workload.kibamrm(b)
+		keys[i], _ = engine.Fingerprint(model, opts.Delta, core.Options{})
+		e, hit, err := s.eng.Expanded(model, opts.Delta, core.Options{})
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		xs[i], durations[i] = e, d
+		allHit = allHit && hit
+	}
+	var buildDur time.Duration
+	if opts.Report != nil {
+		buildDur = time.Since(start)
+	}
+	key, memoable := memoKey(kindPhased, phasedKey(keys, durations), times, opts)
+	if memoable {
+		if v, ok := s.results.Get(key); ok {
+			s.memoHits.Inc()
+			entry := v.(memoEntry)
+			replayReport(opts, entry, allHit, buildDur)
+			return entry.val.(*Distribution).clone(), nil
+		}
+	}
+	if opts.Report != nil {
+		start = time.Now()
+	}
+	res, err := core.PhasedLifetimeCDFExpanded(xs, durations, times, s.solveOptions(opts, s.eng.Pool()))
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	d := &Distribution{
+		Times:       res.Times,
+		EmptyProb:   res.EmptyProb,
+		States:      res.States,
+		Transitions: res.NNZ,
+		Iterations:  res.Iterations,
+	}
+	rep := SolveReport{
+		States:             res.States,
+		Transitions:        res.NNZ,
+		Iterations:         res.Iterations,
+		SpMVs:              res.SpMVs,
+		UniformizationRate: res.Rate,
+		ModelCacheHit:      allHit,
+	}
+	if opts.Report != nil {
+		rep.BuildDuration = buildDur
+		rep.SolveDuration = time.Since(start)
+		*opts.Report = rep
+	}
+	if memoable {
 		stored := rep
 		stored.BuildDuration, stored.SolveDuration = 0, 0
 		s.results.Put(key, memoEntry{val: d.clone(), rep: stored})
