@@ -43,12 +43,13 @@ lint-flow:
 	$(GO) run ./tools/numlint -verify-gen-checks
 	$(GO) run ./tools/numlint -baseline .numlint-baseline.json ./...
 
-## fuzz: short fuzzing smoke over the directive and contract-grammar
-## parsers; raise FUZZTIME for a real session.
+## fuzz: short fuzzing smoke over the directive, contract-grammar, and
+## traceparent parsers; raise FUZZTIME for a real session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz='^FuzzParseDirective$$' -fuzztime=$(FUZZTIME) -run='^$$' ./tools/numlint
 	$(GO) test -fuzz='^FuzzParseContract$$' -fuzztime=$(FUZZTIME) -run='^$$' ./tools/numlint/internal/summary
+	$(GO) test -fuzz='^FuzzParseTraceparent$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/obs
 
 ## gen-checks: regenerate the runtime contract shims from //numlint:
 ## requires/ensures directives (see docs/STATIC_ANALYSIS.md).
@@ -57,9 +58,10 @@ gen-checks:
 
 ## bench: run every benchmark once (smoke); pass BENCHTIME for real runs.
 ## The Solver benchmarks (cached reuse, parallel sweep) additionally land
-## in BENCH_solver.json, and the telemetry overhead benchmark
-## (instrumented vs uninstrumented solves) in BENCH_obs.json, for
-## machine comparison across commits.
+## in BENCH_solver.json, the telemetry overhead benchmark (instrumented
+## vs uninstrumented solves) in BENCH_obs.json, and the request-scoped
+## tracing overhead benchmark (disabled / enabled / traced-context warm
+## solves) in BENCH_trace.json, for machine comparison across commits.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./...
@@ -67,6 +69,8 @@ bench:
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_solver.json
 	$(GO) test -bench='^BenchmarkObsOverhead$$' \
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_obs.json
+	$(GO) test -bench='^BenchmarkTraceOverhead$$' \
+		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_trace.json
 
 ## serve: run the batlifed HTTP daemon locally (override the listen
 ## address with ADDR, e.g. `make serve ADDR=:9000`). See docs/SERVICE.md.

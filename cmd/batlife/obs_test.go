@@ -119,7 +119,7 @@ func TestLiveMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := http.Get("http://" + run.srv.Addr() + "/metrics")
+	resp, err := http.Get("http://" + run.srv.Addr() + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,8 +11,17 @@
 //	GET  /v1/jobs/{id}  status/result of a live or retained job
 //	GET  /healthz       liveness (always ok while serving)
 //	GET  /readyz        readiness (503 once draining)
-//	GET  /metrics       expvar-style metrics JSON (also /debug/vars),
-//	                    with net/http/pprof under /debug/pprof/
+//	GET  /metrics       Prometheus/OpenMetrics text exposition
+//	GET  /metrics.json  expvar-style metrics JSON (also /debug/vars)
+//	GET  /debug/traces  recent request traces (JSON span trees;
+//	                    ?fmt=text renders a waterfall), with
+//	                    net/http/pprof under /debug/pprof/
+//
+// Every request runs under a trace: an inbound W3C traceparent header
+// is honoured (the daemon joins the caller's trace) and otherwise a
+// root trace is minted; the trace ID is echoed in the
+// X-Batlife-Trace-Id response header, stamped on log lines, and
+// reported by GET /v1/jobs/{id} (add ?trace=1 for the full span tree).
 //
 // Identical concurrent requests coalesce onto one job (content-addressed
 // job IDs), overload is refused up front (429) instead of queued without
@@ -72,6 +81,7 @@ func run(args []string, sigs <-chan os.Signal, ready chan<- string, stderr io.Wr
 		resultCache    = fs.Int("result-cache", 256, "memoised analysis results retained across requests")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for inflight jobs before giving up")
 		traceOut       = fs.String("trace-out", "", "write solve spans as JSON to this file on exit")
+		traceRetention = fs.Int("trace-retention", obs.DefaultMaxSpans, "completed spans retained for /debug/traces (ring; oldest evicted first)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -83,6 +93,7 @@ func run(args []string, sigs <-chan os.Signal, ready chan<- string, stderr io.Wr
 
 	reg := batlife.NewTelemetry()
 	reg.SetLogger(obs.NewLogger(stderr, obsLogLevel()))
+	reg.Tracer().SetMaxSpans(*traceRetention)
 	logger := reg.Logger()
 
 	svc := service.New(service.Config{

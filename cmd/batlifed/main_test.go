@@ -109,7 +109,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("service_requests_solve_total")) {
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`service_requests_total{endpoint="solve"}`)) {
 		t.Errorf("/metrics = %d, service counters missing", resp.StatusCode)
 	}
 

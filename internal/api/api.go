@@ -232,6 +232,13 @@ type JobStatus struct {
 	// job is done.
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  *Error          `json:"error,omitempty"`
+	// TraceID is the trace identity of the request that started the
+	// job (empty without telemetry); the same ID appears in the
+	// X-Batlife-Trace-Id response header and /debug/traces.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace holds the job's completed span trees (an array of
+	// obs.TraceTree) when requested with GET /v1/jobs/{id}?trace=1.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // ProgressEvent is one line of the NDJSON stream served by

@@ -69,6 +69,12 @@ type Options struct {
 	// registry for solves on the built model. It does not affect the
 	// result and is excluded from engine fingerprints.
 	Obs *obs.Registry
+	// Context, when non-nil, carries the request-scoped trace: the
+	// "core.build" span is parented under the span the context carries
+	// (see obs.StartSpan), so daemon builds appear inside their
+	// request's trace. Like Obs it does not affect the result and is
+	// excluded from engine fingerprints.
+	Context context.Context
 }
 
 // SolveOptions tunes one transient solve on an already-built Expanded.
@@ -147,7 +153,7 @@ func Build(model mrm.KiBaMRM, delta float64, opts Options) (*Expanded, error) {
 	)
 	if reg := opts.Obs; reg != nil {
 		start = time.Now()
-		span = reg.Tracer().Start("core.build",
+		_, span = obs.StartSpan(opts.Context, reg, "core.build",
 			obs.Float("delta", delta),
 			obs.Int("n1", int64(e.n1)),
 			obs.Int("n2", int64(e.n2)))

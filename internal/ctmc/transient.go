@@ -219,7 +219,7 @@ func (u *Uniformized) Transient(alpha, w, times []float64, opts TransientOptions
 	if reg == nil {
 		return u.transient(alpha, w, times, opts)
 	}
-	span := reg.Tracer().Start("ctmc.transient",
+	_, span := obs.StartSpan(opts.Context, reg, "ctmc.transient",
 		obs.Int("states", int64(u.gen.Rows())),
 		obs.Int("time_points", int64(len(times))))
 	res, err := u.transient(alpha, w, times, opts)

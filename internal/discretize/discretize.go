@@ -18,6 +18,7 @@
 package discretize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -99,6 +100,10 @@ type Options struct {
 	// Obs, when non-nil, receives run telemetry: grid dimensions, step
 	// counts and a "discretize.run" span. Nil disables recording.
 	Obs *obs.Registry
+	// Context, when non-nil, carries the request-scoped trace: the
+	// "discretize.run" span nests under the span the context carries.
+	// It does not affect the computation.
+	Context context.Context
 }
 
 // EnergyDepletionCDF approximates Pr{Y(t) ≥ capacity} — the battery
@@ -119,7 +124,7 @@ func EnergyDepletionCDFOpts(m mrm.ConstantReward, capacity float64, times []floa
 	if reg == nil {
 		return energyDepletionCDF(m, capacity, times, step, nil)
 	}
-	span := reg.Tracer().Start("discretize.run", obs.Float("step", step))
+	_, span := obs.StartSpan(opts.Context, reg, "discretize.run", obs.Float("step", step))
 	start := time.Now()
 	out, err := energyDepletionCDF(m, capacity, times, step, reg)
 	if err != nil {

@@ -246,7 +246,9 @@ func (e *Engine) Expanded(m mrm.KiBaMRM, delta float64, build core.Options) (*co
 // build runs one model expansion, recording timing and a span when the
 // engine has a registry. The engine's registry is injected into the
 // build options (unless the caller set one) so core's expansion
-// telemetry flows into the same place.
+// telemetry flows into the same place, and the "engine.build" span is
+// parented under the span carried by build.Context — threading the
+// request trace through to the nested "core.build" span.
 func (e *Engine) build(m mrm.KiBaMRM, delta float64, build core.Options) (*core.Expanded, error) {
 	if build.Obs == nil {
 		build.Obs = e.obs
@@ -254,7 +256,8 @@ func (e *Engine) build(m mrm.KiBaMRM, delta float64, build core.Options) (*core.
 	if e.obs == nil {
 		return core.Build(m, delta, build)
 	}
-	span := e.obs.Tracer().Start("engine.build", obs.Float("delta", delta))
+	ctx, span := obs.StartSpan(build.Context, e.obs, "engine.build", obs.Float("delta", delta))
+	build.Context = ctx
 	start := time.Now()
 	x, err := core.Build(m, delta, build)
 	if err != nil {

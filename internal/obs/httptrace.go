@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// W3C Trace Context HTTP middleware. TraceMiddleware gives every
+// request one span: inbound `traceparent` headers are honored (the
+// request joins the caller's trace), otherwise a root trace is minted.
+// The trace ID is echoed in the X-Batlife-Trace-Id response header so
+// clients can correlate a response with /debug/traces and log lines
+// even when they did not send a traceparent themselves.
+
+// TraceHeader is the response header carrying the request's trace ID.
+const TraceHeader = "X-Batlife-Trace-Id"
+
+// TraceparentHeader is the W3C Trace Context request header.
+const TraceparentHeader = "traceparent"
+
+// TraceMiddleware wraps next so every request runs under an
+// "http.request" span carried by the request context, continuing an
+// inbound W3C trace when the traceparent header parses (malformed
+// headers are ignored per spec: a fresh trace is minted). With a nil
+// registry the handler is returned unchanged — tracing disabled costs
+// nothing.
+func TraceMiddleware(reg *Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var trace TraceID
+		var parent SpanID
+		if tp := r.Header.Get(TraceparentHeader); tp != "" {
+			if t, p, _, err := ParseTraceparent(tp); err == nil {
+				trace, parent = t, p
+			}
+		}
+		span := reg.Tracer().StartRemote(trace, parent, "http.request",
+			String("method", r.Method), String("path", r.URL.Path))
+		w.Header().Set(TraceHeader, span.TraceID().String())
+		tw := &traceResponseWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(tw, r.WithContext(ContextWithSpan(r.Context(), span)))
+		span.End(Int("status", int64(tw.status)))
+	})
+}
+
+// traceResponseWriter records the response status for the request span.
+// Flush passes through so NDJSON streaming keeps working under the
+// middleware.
+type traceResponseWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *traceResponseWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *traceResponseWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *traceResponseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -24,9 +24,49 @@ func NopLogger() *slog.Logger { return nopLogger }
 
 // NewLogger returns a JSON structured logger writing to w at the given
 // level — the logger the CLI threads through the solver when -log is
-// set.
+// set. The handler is trace-aware: records logged with a context-taking
+// method (InfoContext, ...) under a traced request automatically carry
+// trace_id and span_id attributes.
 func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
-	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+	return slog.New(TraceLogHandler(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// traceLogHandler decorates records with the trace identity carried by
+// the logging call's context.
+type traceLogHandler struct {
+	inner slog.Handler
+}
+
+// TraceLogHandler wraps a slog.Handler so every record whose context
+// carries a span is stamped with trace_id and span_id attributes — the
+// glue that lets an operator jump from a log line to /debug/traces.
+func TraceLogHandler(h slog.Handler) slog.Handler {
+	if _, ok := h.(traceLogHandler); ok {
+		return h
+	}
+	return traceLogHandler{inner: h}
+}
+
+func (h traceLogHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.inner.Enabled(ctx, l)
+}
+
+func (h traceLogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := SpanFromContext(ctx); s != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", s.TraceID().String()),
+			slog.String("span_id", s.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h traceLogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceLogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceLogHandler) WithGroup(name string) slog.Handler {
+	return traceLogHandler{inner: h.inner.WithGroup(name)}
 }
 
 // SetLogger attaches a structured logger to the registry. No-op on a nil

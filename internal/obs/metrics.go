@@ -98,6 +98,17 @@ type Histogram struct {
 	minBits atomic.Uint64 // float64 bits; MaxFloat64 when empty
 	maxBits atomic.Uint64 // float64 bits; -MaxFloat64 when empty
 	buckets [numBuckets + 2]atomic.Int64
+	// exemplars holds, per bucket, the slowest trace-attributed sample
+	// seen so far — the OpenMetrics exemplar the Prometheus exposition
+	// attaches to that bucket's line, linking a latency spike back to
+	// its trace.
+	exemplars [numBuckets + 2]atomic.Pointer[exemplar]
+}
+
+// exemplar is one trace-attributed observation.
+type exemplar struct {
+	trace string
+	value float64
 }
 
 // NewHistogram returns a standalone histogram.
@@ -170,6 +181,31 @@ func (h *Histogram) Observe(v float64) {
 // with a name that documents the unit convention used across the stack.
 func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
 
+// ObserveExemplar records one sample and, when the trace ID is valid,
+// offers it as the bucket's exemplar. Each bucket keeps its slowest
+// trace-attributed sample, so the exposition's exemplars point an
+// operator at the trace behind the worst observation in every latency
+// band. No-op on a nil Histogram; a zero trace ID degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace TraceID) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if trace.IsZero() {
+		return
+	}
+	slot := &h.exemplars[bucketIndex(v)]
+	for {
+		old := slot.Load()
+		if old != nil && old.value >= v {
+			return
+		}
+		if slot.CompareAndSwap(old, &exemplar{trace: trace.String(), value: v}) {
+			return
+		}
+	}
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram, safe to read
 // without synchronisation.
 type HistogramSnapshot struct {
@@ -177,8 +213,9 @@ type HistogramSnapshot struct {
 	Count int64
 	Sum   float64
 	// Min and Max are the exact extreme samples (0 when empty).
-	Min, Max float64
-	buckets  [numBuckets + 2]int64
+	Min, Max  float64
+	buckets   [numBuckets + 2]int64
+	exemplars [numBuckets + 2]*exemplar
 }
 
 // Snapshot copies the histogram's current state. On a nil Histogram it
@@ -198,6 +235,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.buckets {
 		s.buckets[i] = h.buckets[i].Load()
+		s.exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }

@@ -26,6 +26,7 @@ import (
 	"io"
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -119,6 +120,82 @@ func (r *Registry) Histogram(name string) *Histogram {
 	h = NewHistogram()
 	r.hists[name] = h
 	return h
+}
+
+// metricKey renders a metric name plus labels as the registry key:
+// `name{k1="v1",k2="v2"}` with label keys sorted and values
+// Prometheus-escaped. The key doubles as the series identity in both the
+// JSON view and the Prometheus exposition, so escaping happens once,
+// here. With no labels the key is the bare name.
+func metricKey(name string, labels []Attr) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := make([]Attr, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies Prometheus label-value escaping: backslash,
+// double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// CounterWith returns the counter for the labeled series, creating it on
+// first use. Label keys are sorted, so call-site order does not matter.
+// Resolve handles once and reuse them — key construction is not free.
+func (r *Registry) CounterWith(name string, labels ...Attr) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(metricKey(name, labels))
+}
+
+// GaugeWith returns the gauge for the labeled series.
+func (r *Registry) GaugeWith(name string, labels ...Attr) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Gauge(metricKey(name, labels))
+}
+
+// HistogramWith returns the histogram for the labeled series.
+func (r *Registry) HistogramWith(name string, labels ...Attr) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(metricKey(name, labels))
 }
 
 // Tracer returns the registry's tracer, or nil for a nil Registry.

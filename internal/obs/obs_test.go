@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -275,7 +276,8 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 	}
 	for i := range want {
 		a, b := want[i], back[i]
-		if a.ID != b.ID || a.Parent != b.Parent || a.Name != b.Name ||
+		if a.TraceID != b.TraceID || a.SpanID != b.SpanID ||
+			a.ParentSpanID != b.ParentSpanID || a.Name != b.Name ||
 			a.StartUnixNs != b.StartUnixNs || a.DurationNs != b.DurationNs {
 			t.Errorf("span %d: %+v != %+v", i, a, b)
 		}
@@ -292,8 +294,11 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 	if want[0].Name != "solve" || want[1].Name != "sweep" {
 		t.Errorf("span order %q, %q", want[0].Name, want[1].Name)
 	}
-	if want[0].Parent != want[1].ID {
-		t.Errorf("child Parent = %d, want root ID %d", want[0].Parent, want[1].ID)
+	if want[0].ParentSpanID != want[1].SpanID {
+		t.Errorf("child ParentSpanID = %s, want root SpanID %s", want[0].ParentSpanID, want[1].SpanID)
+	}
+	if want[0].TraceID != want[1].TraceID {
+		t.Errorf("child TraceID = %s, want root TraceID %s", want[0].TraceID, want[1].TraceID)
 	}
 	if want[0].DurationNs <= 0 {
 		t.Errorf("child duration = %d", want[0].DurationNs)
@@ -304,10 +309,18 @@ func TestTracerBoundedRetention(t *testing.T) {
 	tr := NewTracer()
 	tr.SetMaxSpans(4)
 	for i := 0; i < 10; i++ {
-		tr.Start("s").End()
+		tr.Start("s", Int("i", int64(i))).End()
 	}
-	if n := len(tr.Spans()); n != 4 {
-		t.Errorf("retained %d spans, want 4", n)
+	spans := tr.Spans()
+	if n := len(spans); n != 4 {
+		t.Fatalf("retained %d spans, want 4", n)
+	}
+	// The ring evicts oldest-first: the four NEWEST spans survive, in
+	// completion order.
+	for i, rec := range spans {
+		if want := strconv.Itoa(6 + i); rec.Attrs["i"] != want {
+			t.Errorf("spans[%d] has i=%s, want %s (newest spans must survive)", i, rec.Attrs["i"], want)
+		}
 	}
 	if d := tr.Dropped(); d != 6 {
 		t.Errorf("Dropped = %d, want 6", d)
@@ -398,7 +411,7 @@ func TestServeHandler(t *testing.T) {
 	srv := httptest.NewServer(Handler(reg))
 	defer srv.Close()
 
-	for _, path := range []string{"/metrics", "/debug/vars"} {
+	for _, path := range []string{"/metrics.json", "/debug/vars"} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -417,6 +430,26 @@ func TestServeHandler(t *testing.T) {
 		if counters["hits"] != float64(5) {
 			t.Errorf("%s: hits = %v, want 5", path, counters["hits"])
 		}
+	}
+
+	// /metrics now serves the Prometheus text exposition.
+	resp0, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	if resp0.StatusCode != 200 {
+		t.Fatalf("/metrics: status %d", resp0.StatusCode)
+	}
+	if ct := resp0.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("/metrics Content-Type = %q, want openmetrics-text", ct)
+	}
+	if !strings.Contains(string(promBody), "hits_total 5") && !strings.Contains(string(promBody), "hits 5") {
+		t.Errorf("/metrics missing hits counter:\n%s", promBody)
+	}
+	if !strings.HasSuffix(string(promBody), "# EOF\n") {
+		t.Errorf("/metrics missing # EOF terminator")
 	}
 
 	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")

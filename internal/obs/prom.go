@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus / OpenMetrics text exposition. WritePrometheus renders the
+// registry in the OpenMetrics text format (the format Prometheus
+// negotiates when exemplars are wanted): one `# TYPE` line per metric
+// family, samples grouped by family with label sets sorted, histograms
+// as cumulative `_bucket`/`_sum`/`_count` series, and per-bucket
+// exemplars (`# {trace_id="..."} value`) linking latency buckets to the
+// trace behind their slowest observation. Exemplar timestamps are
+// omitted — they are optional in OpenMetrics, and leaving them out keeps
+// the exposition deterministic for a deterministic workload, which the
+// golden test pins byte-for-byte.
+//
+// Family naming follows the OpenMetrics convention for counters: the
+// family is the metric name with any `_total` suffix stripped, and the
+// sample line carries the `_total` suffix (appended when a counter was
+// registered without one). Gauge and histogram families use the
+// registered name as-is.
+
+// series is one (labels, key) pair within a family; the key indexes the
+// registry maps.
+type series struct {
+	labels string // inside-the-braces form, "" when unlabeled
+	key    string
+}
+
+// familyOf splits a registry key `name{labels}` into its family name and
+// label part.
+func familyOf(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], strings.TrimSuffix(key[i+1:], "}")
+	}
+	return key, ""
+}
+
+// groupFamilies buckets registry keys by family name, with both the
+// family list and each family's series deterministically sorted.
+func groupFamilies(keys []string) ([]string, map[string][]series) {
+	byFamily := make(map[string][]series)
+	for _, key := range keys {
+		name, labels := familyOf(key)
+		byFamily[name] = append(byFamily[name], series{labels: labels, key: key})
+	}
+	names := make([]string, 0, len(byFamily))
+	for name, ss := range byFamily {
+		names = append(names, name)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+	}
+	sort.Strings(names)
+	return names, byFamily
+}
+
+// promFloat renders a float64 in the exposition's number syntax.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promWriter accumulates the exposition, remembering the first write
+// error so the render loop stays linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) str(parts ...string) {
+	if p.err != nil {
+		return
+	}
+	for _, s := range parts {
+		if _, p.err = io.WriteString(p.w, s); p.err != nil {
+			return
+		}
+	}
+}
+
+// sample writes one `name{labels} value` line, merging an extra label
+// (the histogram `le`) into an existing label set when needed, plus an
+// optional exemplar suffix.
+func (p *promWriter) sample(name, labels, extraLabel, value string, ex *exemplar) {
+	p.str(name)
+	switch {
+	case labels == "" && extraLabel == "":
+	case labels == "":
+		p.str("{", extraLabel, "}")
+	case extraLabel == "":
+		p.str("{", labels, "}")
+	default:
+		p.str("{", labels, ",", extraLabel, "}")
+	}
+	p.str(" ", value)
+	if ex != nil {
+		p.str(` # {trace_id="`, ex.trace, `"} `, promFloat(ex.value))
+	}
+	p.str("\n")
+}
+
+// bucketUpperBound returns the inclusive upper bound of bucket i in the
+// log-linear layout (the `le` value). The underflow bucket's bound is
+// the layout's lower edge; the overflow bucket is +Inf.
+func bucketUpperBound(i int) float64 {
+	switch {
+	case i <= 0:
+		return math.Exp2(float64(histMinExp))
+	case i > numBuckets:
+		return math.Inf(1)
+	}
+	return math.Exp2(float64(i)/histSub + float64(histMinExp))
+}
+
+// WritePrometheus writes the registry's metrics in the OpenMetrics text
+// exposition format, terminated by `# EOF`. A nil Registry writes only
+// the terminator. Output is fully deterministic: families and label sets
+// are sorted, and nothing in it depends on the clock.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	p := &promWriter{w: w}
+	if r == nil {
+		p.str("# EOF\n")
+		return p.err
+	}
+
+	// Snapshot under the read lock, render outside it.
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	counterKeys := make([]string, 0, len(r.counters))
+	for key, c := range r.counters {
+		counters[key] = c.Value()
+		counterKeys = append(counterKeys, key)
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	gaugeKeys := make([]string, 0, len(r.gauges))
+	for key, g := range r.gauges {
+		gauges[key] = g.Value()
+		gaugeKeys = append(gaugeKeys, key)
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	histKeys := make([]string, 0, len(r.hists))
+	for key, h := range r.hists {
+		hists[key] = h.Snapshot()
+		histKeys = append(histKeys, key)
+	}
+	r.mu.RUnlock()
+
+	names, families := groupFamilies(counterKeys)
+	for _, name := range names {
+		// OpenMetrics: family name drops `_total`, sample lines carry it.
+		family := strings.TrimSuffix(name, "_total")
+		p.str("# TYPE ", family, " counter\n")
+		for _, s := range families[name] {
+			p.sample(family+"_total", s.labels, "", strconv.FormatInt(counters[s.key], 10), nil)
+		}
+	}
+
+	names, families = groupFamilies(gaugeKeys)
+	for _, name := range names {
+		p.str("# TYPE ", name, " gauge\n")
+		for _, s := range families[name] {
+			p.sample(name, s.labels, "", promFloat(gauges[s.key]), nil)
+		}
+	}
+
+	names, families = groupFamilies(histKeys)
+	for _, name := range names {
+		p.str("# TYPE ", name, " histogram\n")
+		for _, s := range families[name] {
+			snap := hists[s.key]
+			// Cumulative buckets: emit only occupied buckets (the layout
+			// has 282; an ascending subset plus +Inf is valid exposition)
+			// with each one's running total, exemplars attached where a
+			// trace-attributed sample landed in that bucket.
+			cum := int64(0)
+			for i, n := range snap.buckets {
+				if n == 0 || i > numBuckets {
+					continue
+				}
+				cum += n
+				le := `le="` + promFloat(bucketUpperBound(i)) + `"`
+				p.sample(name+"_bucket", s.labels, le, strconv.FormatInt(cum, 10), snap.exemplars[i])
+			}
+			// The +Inf bucket and _count derive from the same bucket sums
+			// as the cumulative lines, so the mini-parser's cumulativity
+			// and count==+Inf invariants hold even if a concurrent Observe
+			// tore the snapshot's count field.
+			total := cum + snap.buckets[numBuckets+1]
+			p.sample(name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatInt(total, 10),
+				snap.exemplars[numBuckets+1])
+			p.sample(name+"_sum", s.labels, "", promFloat(snap.Sum), nil)
+			p.sample(name+"_count", s.labels, "", strconv.FormatInt(total, 10), nil)
+		}
+	}
+
+	p.str("# EOF\n")
+	return p.err
+}

@@ -8,26 +8,44 @@ import (
 	"time"
 )
 
-// Handler returns the HTTP handler behind Serve: expvar-style metrics
-// JSON at /metrics and /debug/vars, and the net/http/pprof suite under
+// Handler returns the HTTP handler behind Serve: Prometheus/OpenMetrics
+// text exposition at /metrics, the expvar-style metrics JSON at
+// /metrics.json and /debug/vars, per-trace span trees at /debug/traces
+// (?fmt=text for a waterfall), and the net/http/pprof suite under
 // /debug/pprof/. Exposed separately so tests can drive it through
-// httptest without opening a socket.
+// httptest without opening a socket, and so the service router can
+// mount the same endpoints.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	metrics := func(w http.ResponseWriter, _ *http.Request) {
+	RegisterDebugRoutes(mux, reg)
+	return mux
+}
+
+// RegisterDebugRoutes mounts the observability endpoints on an existing
+// mux — the daemon router reuses this so /metrics, /metrics.json,
+// /debug/vars, /debug/traces and /debug/pprof/* behave identically on
+// the service port and the standalone metrics port.
+func RegisterDebugRoutes(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	metricsJSON := func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if err := reg.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}
-	mux.HandleFunc("/metrics", metrics)
-	mux.HandleFunc("/debug/vars", metrics)
+	mux.HandleFunc("/metrics.json", metricsJSON)
+	mux.HandleFunc("/debug/vars", metricsJSON)
+	mux.Handle("/debug/traces", TracesHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Server is a running metrics/pprof HTTP server.

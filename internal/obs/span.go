@@ -33,9 +33,13 @@ func Float(key string, value float64) Attr {
 
 // SpanRecord is one completed span, the unit of the trace JSON export.
 type SpanRecord struct {
-	// ID is unique within the tracer; Parent is 0 for root spans.
-	ID     int64 `json:"id"`
-	Parent int64 `json:"parent,omitempty"`
+	// TraceID groups all spans of one request; SpanID identifies this
+	// span within it. ParentSpanID is empty for root spans (a root may
+	// still have a remote parent in another process, carried by the
+	// inbound traceparent but not retained here).
+	TraceID      string `json:"trace_id"`
+	SpanID       string `json:"span_id"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// Name identifies the traced stage, e.g. "core.build",
 	// "ctmc.transient", "sweep.scenario".
 	Name string `json:"name"`
@@ -48,15 +52,18 @@ type SpanRecord struct {
 }
 
 // Tracer collects spans. It is safe for concurrent use and bounded: at
-// most maxSpans completed spans are retained, later ones are counted as
-// dropped, so a long sweep cannot grow memory without bound. A nil
+// most maxSpans completed spans are retained in a ring, and once the
+// ring is full each newly completed span evicts the oldest one — so a
+// long-running daemon always holds the most recent traces, and memory
+// cannot grow without bound. Dropped counts the evicted spans. A nil
 // Tracer is a no-op.
 type Tracer struct {
 	mu      sync.Mutex
-	spans   []SpanRecord
-	nextID  atomic.Int64
-	dropped atomic.Int64
+	ring    []SpanRecord // ring storage; capacity fixed at max
+	head    int          // next write position
+	count   int          // live records, <= max
 	max     int
+	dropped atomic.Int64
 	now     func() time.Time
 }
 
@@ -68,7 +75,9 @@ func NewTracer() *Tracer {
 	return &Tracer{max: DefaultMaxSpans, now: time.Now}
 }
 
-// SetMaxSpans adjusts the retention bound (values < 1 select 1).
+// SetMaxSpans adjusts the retention bound (values < 1 select 1). When
+// shrinking below the current population the oldest spans are evicted
+// and counted as dropped.
 func (t *Tracer) SetMaxSpans(n int) {
 	if t == nil {
 		return
@@ -77,8 +86,20 @@ func (t *Tracer) SetMaxSpans(n int) {
 		n = 1
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == t.max {
+		return
+	}
+	old := t.snapshotLocked()
+	if excess := len(old) - n; excess > 0 {
+		old = old[excess:]
+		t.dropped.Add(int64(excess))
+	}
+	t.ring = make([]SpanRecord, n)
+	copy(t.ring, old)
+	t.head = len(old) % n
+	t.count = len(old)
 	t.max = n
-	t.mu.Unlock()
 }
 
 // SetClock replaces the tracer's time source — for tests that need
@@ -100,29 +121,67 @@ func (t *Tracer) clock() time.Time {
 }
 
 // Span is an in-flight span; End completes it. A nil Span (from a nil
-// Tracer) ignores every method.
+// Tracer or a disabled StartSpan) ignores every method. A Span is owned
+// by the goroutine that started it — SetAttr and End must not race —
+// but Child may be called from any goroutine (the identity fields are
+// immutable), which is how concurrent waiters attach events to a shared
+// job span.
 type Span struct {
 	tracer *Tracer
-	id     int64
-	parent int64
+	trace  TraceID
+	id     SpanID
+	parent SpanID
 	name   string
 	start  time.Time
 	attrs  []Attr
 }
 
-// Start begins a root span. On a nil Tracer it returns nil, making the
-// whole Start/SetAttr/End chain free when tracing is disabled.
-func (t *Tracer) Start(name string, attrs ...Attr) *Span {
-	return t.startSpan(0, name, attrs)
+// TraceID reports the span's trace identity; zero on a nil Span.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
 }
 
-func (t *Tracer) startSpan(parent int64, name string, attrs []Attr) *Span {
+// SpanID reports the span's own identity; zero on a nil Span.
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Start begins a root span with a freshly minted trace ID. On a nil
+// Tracer it returns nil, making the whole Start/SetAttr/End chain free
+// when tracing is disabled.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
+	return t.startSpan(newTraceID(), SpanID{}, name, attrs)
+}
+
+// StartRemote begins a root span that continues a trace started in
+// another process: the span adopts the given trace ID and records the
+// remote span as its parent — the middleware path for inbound W3C
+// traceparent headers. A zero trace ID falls back to minting a fresh
+// one.
+func (t *Tracer) StartRemote(trace TraceID, parent SpanID, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if trace.IsZero() {
+		trace = newTraceID()
+	}
+	return t.startSpan(trace, parent, name, attrs)
+}
+
+func (t *Tracer) startSpan(trace TraceID, parent SpanID, name string, attrs []Attr) *Span {
 	return &Span{
 		tracer: t,
-		id:     t.nextID.Add(1),
+		trace:  trace,
+		id:     newSpanID(),
 		parent: parent,
 		name:   name,
 		start:  t.clock(),
@@ -130,12 +189,12 @@ func (t *Tracer) startSpan(parent int64, name string, attrs []Attr) *Span {
 	}
 }
 
-// Child begins a span nested under s.
+// Child begins a span nested under s, in the same trace.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tracer.startSpan(s.id, name, attrs)
+	return s.tracer.startSpan(s.trace, s.id, name, attrs)
 }
 
 // SetAttr records an additional attribute on the span.
@@ -154,11 +213,14 @@ func (s *Span) End(attrs ...Attr) {
 	}
 	end := s.tracer.clock()
 	rec := SpanRecord{
-		ID:          s.id,
-		Parent:      s.parent,
+		TraceID:     s.trace.String(),
+		SpanID:      s.id.String(),
 		Name:        s.name,
 		StartUnixNs: s.start.UnixNano(),
 		DurationNs:  end.Sub(s.start).Nanoseconds(),
+	}
+	if !s.parent.IsZero() {
+		rec.ParentSpanID = s.parent.String()
 	}
 	if n := len(s.attrs) + len(attrs); n > 0 {
 		rec.Attrs = make(map[string]string, n)
@@ -171,28 +233,71 @@ func (s *Span) End(attrs ...Attr) {
 	}
 	t := s.tracer
 	t.mu.Lock()
-	if len(t.spans) < t.max {
-		t.spans = append(t.spans, rec)
+	if t.ring == nil {
+		t.ring = make([]SpanRecord, t.max)
+	}
+	t.ring[t.head] = rec
+	t.head = (t.head + 1) % t.max
+	if t.count < t.max {
+		t.count++
 	} else {
+		// Ring full: the write above evicted the oldest completed span.
 		t.dropped.Add(1)
 	}
 	t.mu.Unlock()
 }
 
-// Spans returns a copy of the completed spans in completion order.
+// snapshotLocked copies the live records oldest-first; t.mu must be
+// held.
+func (t *Tracer) snapshotLocked() []SpanRecord {
+	out := make([]SpanRecord, 0, t.count)
+	start := t.head - t.count
+	if start < 0 {
+		start += t.max
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%t.max])
+	}
+	return out
+}
+
+// Spans returns a copy of the retained completed spans in completion
+// order, oldest first.
 func (t *Tracer) Spans() []SpanRecord {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]SpanRecord, len(t.spans))
-	copy(out, t.spans)
+	return t.snapshotLocked()
+}
+
+// TraceSpans returns the retained completed spans of one trace, in
+// completion order. Spans of a still-running stage are absent until
+// their End.
+func (t *Tracer) TraceSpans(id TraceID) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	want := id.String()
+	var out []SpanRecord
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := t.head - t.count
+	if start < 0 {
+		start += t.max
+	}
+	for i := 0; i < t.count; i++ {
+		rec := t.ring[(start+i)%t.max]
+		if rec.TraceID == want {
+			out = append(out, rec)
+		}
+	}
 	return out
 }
 
-// Dropped reports how many spans were discarded over the retention
-// bound.
+// Dropped reports how many completed spans the retention ring has
+// evicted (or, before the ring existed, discarded).
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -200,7 +305,7 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped.Load()
 }
 
-// WriteJSON writes the completed spans as one JSON array. A nil Tracer
+// WriteJSON writes the retained spans as one JSON array. A nil Tracer
 // writes an empty array, so --trace-out always produces valid JSON.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	spans := t.Spans()

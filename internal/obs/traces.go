@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Live trace inspection. BuildTraceTrees reassembles the tracer's flat
+// completed-span ring into per-trace span trees, and TracesHandler
+// serves them at /debug/traces as JSON (or a plain-text waterfall with
+// ?fmt=text) so an operator can inspect where a slow solve spent its
+// time without any external tracing infrastructure.
+
+// TraceNode is one span with its children nested beneath it.
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceTree is every retained span of one trace, as a forest of root
+// nodes (spans whose parent is unknown — true roots, or spans whose
+// parent was evicted from the ring or ended in another process).
+type TraceTree struct {
+	TraceID string `json:"trace_id"`
+	// StartUnixNs is the earliest span start; DurationNs spans from it
+	// to the latest span end.
+	StartUnixNs int64        `json:"start_unix_ns"`
+	DurationNs  int64        `json:"duration_ns"`
+	SpanCount   int          `json:"span_count"`
+	Spans       []*TraceNode `json:"spans"`
+}
+
+// BuildTraceTrees groups completed spans by trace ID and links each
+// trace's spans into trees by parent span ID. Trees are ordered newest
+// trace first; within a trace, siblings are ordered by start time.
+func BuildTraceTrees(spans []SpanRecord) []*TraceTree {
+	byTrace := make(map[string][]*TraceNode)
+	order := make([]string, 0)
+	for _, rec := range spans {
+		if _, seen := byTrace[rec.TraceID]; !seen {
+			order = append(order, rec.TraceID)
+		}
+		byTrace[rec.TraceID] = append(byTrace[rec.TraceID], &TraceNode{SpanRecord: rec})
+	}
+	trees := make([]*TraceTree, 0, len(order))
+	for _, id := range order {
+		nodes := byTrace[id]
+		byID := make(map[string]*TraceNode, len(nodes))
+		for _, n := range nodes {
+			byID[n.SpanID] = n
+		}
+		tree := &TraceTree{TraceID: id, SpanCount: len(nodes)}
+		for _, n := range nodes {
+			if p, ok := byID[n.ParentSpanID]; ok && n.ParentSpanID != "" && p != n {
+				p.Children = append(p.Children, n)
+			} else {
+				tree.Spans = append(tree.Spans, n)
+			}
+		}
+		tree.StartUnixNs, tree.DurationNs = envelope(nodes)
+		sortNodes(tree.Spans)
+		for _, n := range nodes {
+			sortNodes(n.Children)
+		}
+		trees = append(trees, tree)
+	}
+	// Newest trace first: order by envelope start, descending.
+	sort.SliceStable(trees, func(i, j int) bool { return trees[i].StartUnixNs > trees[j].StartUnixNs })
+	return trees
+}
+
+// envelope returns the earliest start and the span of the whole trace.
+func envelope(nodes []*TraceNode) (start, duration int64) {
+	if len(nodes) == 0 {
+		return 0, 0
+	}
+	start = nodes[0].StartUnixNs
+	end := start
+	for _, n := range nodes {
+		if n.StartUnixNs < start {
+			start = n.StartUnixNs
+		}
+		if e := n.StartUnixNs + n.DurationNs; e > end {
+			end = e
+		}
+	}
+	return start, end - start
+}
+
+func sortNodes(nodes []*TraceNode) {
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].StartUnixNs < nodes[j].StartUnixNs })
+}
+
+// waterfallWidth is the bar width of the text waterfall, in cells.
+const waterfallWidth = 32
+
+// WriteWaterfall renders the trace as an indented text waterfall: one
+// line per span with its offset from the trace start, duration, and a
+// bar showing its extent within the trace window.
+func (t *TraceTree) WriteWaterfall(b *strings.Builder) {
+	fmt.Fprintf(b, "trace %s  spans=%d  duration=%s\n",
+		t.TraceID, t.SpanCount, formatNs(t.DurationNs))
+	for _, n := range t.Spans {
+		n.writeWaterfall(b, t, 1)
+	}
+}
+
+func (n *TraceNode) writeWaterfall(b *strings.Builder, t *TraceTree, depth int) {
+	bar := [waterfallWidth]byte{}
+	for i := range bar {
+		bar[i] = '.'
+	}
+	if t.DurationNs > 0 {
+		lo := int(int64(waterfallWidth) * (n.StartUnixNs - t.StartUnixNs) / t.DurationNs)
+		hi := int(int64(waterfallWidth) * (n.StartUnixNs + n.DurationNs - t.StartUnixNs) / t.DurationNs)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= waterfallWidth {
+			hi = waterfallWidth - 1
+		}
+		for i := lo; i <= hi; i++ {
+			bar[i] = '='
+		}
+	}
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%-*s [%s] +%s %s\n",
+		indent, 28-2*depth, n.Name, bar[:], formatNs(n.StartUnixNs-t.StartUnixNs), formatNs(n.DurationNs))
+	for _, c := range n.Children {
+		c.writeWaterfall(b, t, depth+1)
+	}
+}
+
+// formatNs renders a nanosecond quantity with an adaptive unit.
+func formatNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return strconv.FormatFloat(float64(ns)/1e9, 'f', 3, 64) + "s"
+	case ns >= 1e6:
+		return strconv.FormatFloat(float64(ns)/1e6, 'f', 3, 64) + "ms"
+	case ns >= 1e3:
+		return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64) + "µs"
+	}
+	return strconv.FormatInt(ns, 10) + "ns"
+}
+
+// TracesHandler serves the tracer's retained spans as per-trace span
+// trees: JSON by default, a text waterfall with ?fmt=text. ?trace=<hex>
+// filters to one trace ID, ?n=<k> limits to the k most recent traces.
+func TracesHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spans []SpanRecord
+		if want := r.URL.Query().Get("trace"); want != "" {
+			id, err := ParseTraceID(want)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			spans = reg.Tracer().TraceSpans(id)
+		} else {
+			spans = reg.Tracer().Spans()
+		}
+		trees := BuildTraceTrees(spans)
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(trees) {
+				trees = trees[:n]
+			}
+		}
+		if r.URL.Query().Get("fmt") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			var b strings.Builder
+			for _, t := range trees {
+				t.WriteWaterfall(&b)
+				b.WriteByte('\n')
+			}
+			_, _ = fmt.Fprint(w, b.String())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if trees == nil {
+			trees = []*TraceTree{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(trees)
+	})
+}

@@ -13,8 +13,12 @@ import (
 )
 
 // Routes returns the daemon's HTTP handler: the v1 API, health probes,
-// and — when the service has a telemetry registry — the /metrics,
-// /debug/vars and /debug/pprof/ suite.
+// and — when the service has a telemetry registry — the Prometheus
+// /metrics exposition plus the /metrics.json, /debug/vars,
+// /debug/traces and /debug/pprof/ suite. The whole tree sits behind
+// obs.TraceMiddleware, so every request runs under an "http.request"
+// span that honours an inbound W3C traceparent header and echoes its
+// trace ID in the X-Batlife-Trace-Id response header.
 func (s *Service) Routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /"+api.Version+"/solve", s.instrument("solve", http.HandlerFunc(s.handleSolve)))
@@ -25,24 +29,29 @@ func (s *Service) Routes() http.Handler {
 	if s.reg != nil {
 		oh := obs.Handler(s.reg)
 		mux.Handle("GET /metrics", oh)
+		mux.Handle("GET /metrics.json", oh)
 		mux.Handle("GET /debug/", oh)
 	}
-	return mux
+	return obs.TraceMiddleware(s.reg, mux)
 }
 
-// instrument wraps a handler with a per-endpoint request counter and
-// latency histogram.
+// instrument wraps a handler with a request counter and latency
+// histogram labelled by endpoint; the latency observation carries the
+// request's trace ID as an exemplar, so a slow scrape sample links
+// straight to its trace in /debug/traces.
 func (s *Service) instrument(name string, h http.Handler) http.Handler {
 	if s.reg == nil {
 		return h
 	}
-	requests := s.reg.Counter("service_requests_" + name + "_total")
-	latency := s.reg.Histogram("service_latency_" + name + "_seconds")
+	endpoint := obs.String("endpoint", name)
+	requests := s.reg.CounterWith("service_requests_total", endpoint)
+	latency := s.reg.HistogramWith("service_latency_seconds", endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		start := time.Now()
 		h.ServeHTTP(w, r)
-		latency.ObserveDuration(time.Since(start).Seconds())
+		latency.ObserveExemplar(time.Since(start).Seconds(),
+			obs.SpanFromContext(r.Context()).TraceID())
 	})
 }
 
@@ -63,7 +72,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	j, coalesced, attached, err := s.admit(id, "solve", s.timeoutFor(req.TimeoutSeconds),
+	j, coalesced, attached, err := s.admit(r.Context(), id, "solve", s.timeoutFor(req.TimeoutSeconds),
 		func(ctx context.Context, _ func(done, total int)) (any, error) {
 			res, err := s.solve(ctx, &req)
 			if err != nil {
@@ -98,7 +107,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stream := r.URL.Query().Get("stream") != ""
-	j, coalesced, attached, err := s.admit(id, "sweep", s.timeoutFor(req.TimeoutSeconds),
+	j, coalesced, attached, err := s.admit(r.Context(), id, "sweep", s.timeoutFor(req.TimeoutSeconds),
 		func(ctx context.Context, progress func(done, total int)) (any, error) {
 			items, err := s.sweep(ctx, &req, progress)
 			if err != nil {
@@ -118,7 +127,9 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJob serves GET /v1/jobs/{id}: the current status of a live or
-// retained job, including the full response document once done.
+// retained job, including the full response document once done. With
+// ?trace=1 (and telemetry enabled) the status additionally carries the
+// job's completed span trees, as served by /debug/traces.
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.lookup(id)
@@ -130,6 +141,12 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if r.URL.Query().Get("trace") != "" && s.reg != nil && !j.trace.IsZero() {
+		trees := obs.BuildTraceTrees(s.reg.Tracer().TraceSpans(j.trace))
+		if raw, err := json.Marshal(trees); err == nil {
+			st.Trace = raw
+		}
 	}
 	writeJSON(w, http.StatusOK, st)
 }

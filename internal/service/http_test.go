@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -661,15 +662,180 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics = %d", resp.StatusCode)
 	}
-	for _, name := range []string{"service_requests_solve_total", "service_latency_solve_seconds", "service_jobs_total", "service_queue_wait_seconds"} {
+	for _, name := range []string{
+		`service_requests_total{endpoint="solve"}`,
+		`service_latency_seconds_bucket{endpoint="solve"`,
+		"service_jobs_total",
+		"service_queue_wait_seconds",
+	} {
 		if !bytes.Contains(body, []byte(name)) {
 			t.Errorf("/metrics missing %s", name)
 		}
 	}
-	if got := reg.Counter("service_requests_solve_total").Value(); got != 1 {
+	if got := reg.CounterWith("service_requests_total", obs.String("endpoint", "solve")).Value(); got != 1 {
 		t.Errorf("request counter = %d, want 1", got)
 	}
 	if got := reg.Gauge("service_inflight").Value(); got != 0 {
 		t.Errorf("inflight gauge after completion = %v, want 0", got)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for capturing log output
+// written from handler goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestHTTPTracePropagationEndToEnd drives the full acceptance path with
+// a real solver: a POST /v1/solve carrying a W3C traceparent must echo
+// the same trace ID, produce a span tree spanning service→engine→ctmc
+// in /debug/traces, stamp the trace ID onto a log line, and surface the
+// trace as an exemplar on the solve-latency histogram in /metrics.
+func TestHTTPTracePropagationEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	reg.SetLogger(obs.NewLogger(&logBuf, slog.LevelInfo))
+	svc := New(Config{MaxInflight: 2, Obs: reg}) // real solver, shared registry
+	ts := httptest.NewServer(svc.Routes())
+	defer ts.Close()
+
+	const wantTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req := validSolveReq(t)
+	raw, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, _ := http.NewRequest("POST", ts.URL+"/v1/solve", bytes.NewReader(raw))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.TraceparentHeader, "00-"+wantTrace+"-00f067aa0ba902b7-01")
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != wantTrace {
+		t.Fatalf("%s = %q, want the inbound trace %q", obs.TraceHeader, got, wantTrace)
+	}
+	var sr api.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The span tree must span the whole stack. The job's spans are
+	// complete once the response is written (the job retires before the
+	// waiter wakes); fetch them by trace ID.
+	tresp, err := ts.Client().Get(ts.URL + "/debug/traces?trace=" + wantTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %d %s", tresp.StatusCode, traceBody)
+	}
+	var trees []obs.TraceTree
+	if err := json.Unmarshal(traceBody, &trees); err != nil {
+		t.Fatalf("/debug/traces not a tree array: %v\n%s", err, traceBody)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees for one trace, want 1", len(trees))
+	}
+	names := map[string]bool{}
+	var walk func(nodes []*obs.TraceNode)
+	walk = func(nodes []*obs.TraceNode) {
+		for _, n := range nodes {
+			if n.TraceID != wantTrace {
+				t.Errorf("node %s has trace %s", n.Name, n.TraceID)
+			}
+			names[n.Name] = true
+			walk(n.Children)
+		}
+	}
+	walk(trees[0].Spans)
+	for _, want := range []string{"service.job", "service.queue", "solver.solve", "engine.build", "core.build", "ctmc.transient"} {
+		if !names[want] {
+			t.Errorf("span tree missing %q (have %v)", want, names)
+		}
+	}
+
+	// A log line carries the trace identity.
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"msg":"job admitted"`) || !strings.Contains(logs, `"trace_id":"`+wantTrace+`"`) {
+		t.Errorf("log output lacks a trace-stamped admission line:\n%s", logs)
+	}
+
+	// The Prometheus exposition carries the trace as an exemplar on the
+	// solve-latency histogram.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	var sawExemplar bool
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, `service_latency_seconds_bucket{endpoint="solve"`) &&
+			strings.Contains(line, `# {trace_id="`+wantTrace+`"}`) {
+			sawExemplar = true
+		}
+	}
+	if !sawExemplar {
+		t.Errorf("solve-latency histogram lacks an exemplar for trace %s:\n%s", wantTrace, metrics)
+	}
+
+	// GET /v1/jobs/{id}?trace=1 returns the span tree with the status.
+	jresp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sr.JobID + "?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody, _ := io.ReadAll(jresp.Body)
+	jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs?trace=1: %d %s", jresp.StatusCode, jbody)
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(jbody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != wantTrace {
+		t.Errorf("job trace_id = %q, want %q", st.TraceID, wantTrace)
+	}
+	var jobTrees []obs.TraceTree
+	if err := json.Unmarshal(st.Trace, &jobTrees); err != nil || len(jobTrees) == 0 {
+		t.Fatalf("job status trace field invalid: %v\n%s", err, jbody)
+	}
+	// Without ?trace=1 the tree is omitted.
+	jresp2, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sr.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody2, _ := io.ReadAll(jresp2.Body)
+	jresp2.Body.Close()
+	var st2 api.JobStatus
+	if err := json.Unmarshal(jbody2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Trace != nil {
+		t.Errorf("job status without ?trace=1 carries a trace payload")
 	}
 }

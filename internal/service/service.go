@@ -196,6 +196,12 @@ type job struct {
 	payload any           // *api.SolveResult or []api.SweepItemResult
 	err     error         // terminal failure, nil on success
 
+	// span is the "service.job" span covering the job's whole life
+	// (nil without telemetry); trace is its trace identity, reported in
+	// JobStatus so a client can correlate a job with /debug/traces.
+	span  *obs.Span
+	trace obs.TraceID
+
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
 
@@ -301,12 +307,15 @@ func (j *job) setProgress(done, total int) {
 // may report progress through the supplied sink (never nil).
 type runFunc func(ctx context.Context, progress func(done, total int)) (any, error)
 
-// admit looks up or creates the job for a fingerprint. The returned
-// coalesced flag reports whether the request attached to pre-existing
-// work (inflight or retained). run executes the job body once; it is
-// ignored on coalesce. attached reports whether waiter accounting is
-// live (false for replays of finished jobs).
-func (s *Service) admit(id, kind string, timeout time.Duration, run runFunc) (j *job, coalesced, attached bool, err error) {
+// admit looks up or creates the job for a fingerprint. ctx is the
+// admitting request's context: its span (if any) parents the job's
+// "service.job" span, and coalesce-attach events are recorded on its
+// trace. The returned coalesced flag reports whether the request
+// attached to pre-existing work (inflight or retained). run executes
+// the job body once; it is ignored on coalesce. attached reports
+// whether waiter accounting is live (false for replays of finished
+// jobs).
+func (s *Service) admit(ctx context.Context, id, kind string, timeout time.Duration, run runFunc) (j *job, coalesced, attached bool, err error) {
 	if s.draining.Load() {
 		s.rejections.Inc()
 		return nil, false, false, ErrDraining
@@ -315,7 +324,20 @@ func (s *Service) admit(id, kind string, timeout time.Duration, run runFunc) (j 
 	if existing, ok := s.jobs[id]; ok {
 		s.mu.Unlock()
 		s.coalesces.Inc()
-		return existing, true, existing.attach(), nil
+		live := existing.attach()
+		if obs.TracingEnabled(ctx, s.reg) {
+			// Record the coalesce-attach on the incoming request's
+			// trace, including how many waiters now share the job.
+			existing.mu.Lock()
+			waiters := existing.waiters
+			existing.mu.Unlock()
+			_, cs := obs.StartSpan(ctx, s.reg, "service.coalesce",
+				obs.String("job_id", id),
+				obs.String("job_trace_id", existing.trace.String()),
+				obs.Int("waiters", int64(waiters)))
+			cs.End()
+		}
+		return existing, true, live, nil
 	}
 	// New work needs an admission token; without one the service is at
 	// run+queue capacity and the request is refused rather than parked.
@@ -326,14 +348,23 @@ func (s *Service) admit(id, kind string, timeout time.Duration, run runFunc) (j 
 		s.rejections.Inc()
 		return nil, false, false, ErrOverloaded
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	_, span := obs.StartSpan(ctx, s.reg, "service.job",
+		obs.String("job_id", id), obs.String("kind", kind))
+	// The job deliberately outlives the admitting request (coalesced
+	// waiters may still want the answer after the first caller leaves),
+	// so its context detaches from the request's cancellation; only the
+	// trace identity is carried over.
+	//numlint:ignore ctxflow job lifetime is decoupled from the admitting request by design
+	jctx, cancel := context.WithCancel(obs.ContextWithSpan(context.Background(), span))
 	j = &job{
 		id:      id,
 		kind:    kind,
-		ctx:     ctx,
+		ctx:     jctx,
 		cancel:  cancel,
 		timeout: timeout,
 		done:    make(chan struct{}),
+		span:    span,
+		trace:   span.TraceID(),
 	}
 	j.waiters = 1
 	s.jobs[id] = j
@@ -341,6 +372,10 @@ func (s *Service) admit(id, kind string, timeout time.Duration, run runFunc) (j 
 	s.mu.Unlock()
 
 	s.jobsStarted.Inc()
+	if s.reg != nil {
+		s.reg.Logger().InfoContext(ctx, "job admitted",
+			"job_id", id, "kind", kind, "timeout", timeout.String())
+	}
 	go s.execute(j, run)
 	return j, false, true, nil
 }
@@ -353,15 +388,18 @@ func (s *Service) execute(j *job, run runFunc) {
 	defer func() { <-s.tokens }()
 
 	enqueued := time.Now()
+	queueSpan := j.span.Child("service.queue")
 	select {
 	case s.slots <- struct{}{}:
 	case <-j.ctx.Done():
 		// Abandoned while queued; surface the cancellation so a later
 		// GET /v1/jobs/{id} reports a failed job, not a vanished one.
+		queueSpan.End(obs.String("error", j.ctx.Err().Error()))
 		s.retire(j, nil, j.ctx.Err())
 		return
 	}
 	defer func() { <-s.slots }()
+	queueSpan.End()
 	s.queueWait.ObserveDuration(time.Since(enqueued).Seconds())
 
 	s.inflightGauge.Add(1)
@@ -377,6 +415,11 @@ func (s *Service) execute(j *job, run runFunc) {
 // job stays addressable (and coalescable) until JobRetention newer
 // finishes push it out.
 func (s *Service) retire(j *job, payload any, err error) {
+	if err != nil {
+		j.span.End(obs.String("error", err.Error()))
+	} else {
+		j.span.End()
+	}
 	j.finish(payload, err)
 	s.mu.Lock()
 	s.finished = append(s.finished, j.id)
@@ -484,6 +527,9 @@ func statusOf(j *job) (*api.JobStatus, error) {
 		State: j.state(),
 		Done:  j.progressDone.Load(),
 		Total: j.progressTotal.Load(),
+	}
+	if !j.trace.IsZero() {
+		st.TraceID = j.trace.String()
 	}
 	j.mu.Lock()
 	finished, payload, jerr := j.finished, j.payload, j.err

@@ -73,17 +73,17 @@ func TestAdmissionControl(t *testing.T) {
 	s, started, release := gatedService(t, Config{MaxInflight: 1, QueueDepth: 1, Obs: reg})
 
 	req := &api.SolveRequest{}
-	j1, coalesced, attached, err := s.admit("a", "solve", time.Minute, stubRun(s, req))
+	j1, coalesced, attached, err := s.admit(context.Background(), "a", "solve", time.Minute, stubRun(s, req))
 	if err != nil || coalesced || !attached {
 		t.Fatalf("admit a: job=%v coalesced=%v attached=%v err=%v", j1, coalesced, attached, err)
 	}
 	waitStarted(t, started) // a holds the run slot
 
-	j2, _, _, err := s.admit("b", "solve", time.Minute, stubRun(s, req))
+	j2, _, _, err := s.admit(context.Background(), "b", "solve", time.Minute, stubRun(s, req))
 	if err != nil {
 		t.Fatalf("admit b (queued): %v", err)
 	}
-	if _, _, _, err := s.admit("c", "solve", time.Minute, stubRun(s, req)); !errors.Is(err, ErrOverloaded) {
+	if _, _, _, err := s.admit(context.Background(), "c", "solve", time.Minute, stubRun(s, req)); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("admit c: err = %v, want ErrOverloaded", err)
 	}
 	if got := reg.Counter("service_rejected_total").Value(); got != 1 {
@@ -98,7 +98,7 @@ func TestAdmissionControl(t *testing.T) {
 		t.Errorf("job b: %v", err)
 	}
 	// Capacity freed: admission works again.
-	if _, _, _, err := s.admit("d", "solve", time.Minute, stubRun(s, req)); err != nil {
+	if _, _, _, err := s.admit(context.Background(), "d", "solve", time.Minute, stubRun(s, req)); err != nil {
 		t.Errorf("admit d after drain of queue: %v", err)
 	}
 }
@@ -108,12 +108,12 @@ func TestCoalesceAttachesToInflightJob(t *testing.T) {
 	s, started, release := gatedService(t, Config{MaxInflight: 2, Obs: reg})
 	req := &api.SolveRequest{}
 
-	j1, _, _, err := s.admit("same", "solve", time.Minute, stubRun(s, req))
+	j1, _, _, err := s.admit(context.Background(), "same", "solve", time.Minute, stubRun(s, req))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStarted(t, started)
-	j2, coalesced, attached, err := s.admit("same", "solve", time.Minute, stubRun(s, req))
+	j2, coalesced, attached, err := s.admit(context.Background(), "same", "solve", time.Minute, stubRun(s, req))
 	if err != nil || !coalesced || !attached {
 		t.Fatalf("second admit: coalesced=%v attached=%v err=%v", coalesced, attached, err)
 	}
@@ -137,7 +137,7 @@ func TestCoalesceAttachesToInflightJob(t *testing.T) {
 
 	// Replay after completion: served from retention, no new execution,
 	// no waiter accounting.
-	j3, coalesced, attached, err := s.admit("same", "solve", time.Minute, stubRun(s, req))
+	j3, coalesced, attached, err := s.admit(context.Background(), "same", "solve", time.Minute, stubRun(s, req))
 	if err != nil || !coalesced || attached {
 		t.Fatalf("replay: coalesced=%v attached=%v err=%v", coalesced, attached, err)
 	}
@@ -151,7 +151,7 @@ func TestAbandonedJobIsCancelled(t *testing.T) {
 	// is cancelled so it stops consuming a run slot.
 	s, started, _ := gatedService(t, Config{MaxInflight: 1})
 	req := &api.SolveRequest{}
-	j, _, attached, err := s.admit("a", "solve", time.Minute, stubRun(s, req))
+	j, _, attached, err := s.admit(context.Background(), "a", "solve", time.Minute, stubRun(s, req))
 	if err != nil || !attached {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestAbandonedJobIsCancelled(t *testing.T) {
 		t.Fatalf("abandoned job err = %v, want context.Canceled", err)
 	}
 	// The slot is free again.
-	if _, _, _, err := s.admit("b", "solve", time.Minute, stubRun(s, req)); err != nil {
+	if _, _, _, err := s.admit(context.Background(), "b", "solve", time.Minute, stubRun(s, req)); err != nil {
 		t.Fatalf("admit after abandonment: %v", err)
 	}
 }
@@ -171,12 +171,12 @@ func TestAbandonedQueuedJobReleasesToken(t *testing.T) {
 	// cancellation and frees its admission token.
 	s, started, release := gatedService(t, Config{MaxInflight: 1, QueueDepth: 1})
 	req := &api.SolveRequest{}
-	j1, _, _, err := s.admit("a", "solve", time.Minute, stubRun(s, req))
+	j1, _, _, err := s.admit(context.Background(), "a", "solve", time.Minute, stubRun(s, req))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStarted(t, started)
-	j2, _, _, err := s.admit("b", "solve", time.Minute, stubRun(s, req))
+	j2, _, _, err := s.admit(context.Background(), "b", "solve", time.Minute, stubRun(s, req))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestAbandonedQueuedJobReleasesToken(t *testing.T) {
 func TestJobDeadline(t *testing.T) {
 	s, started, _ := gatedService(t, Config{MaxInflight: 1})
 	req := &api.SolveRequest{}
-	j, _, _, err := s.admit("a", "solve", 20*time.Millisecond, stubRun(s, req))
+	j, _, _, err := s.admit(context.Background(), "a", "solve", 20*time.Millisecond, stubRun(s, req))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestDrainSemantics(t *testing.T) {
 	// ErrDraining, and Drain returns once idle.
 	s, started, release := gatedService(t, Config{MaxInflight: 2})
 	req := &api.SolveRequest{}
-	j, _, _, err := s.admit("inflight", "solve", time.Minute, stubRun(s, req))
+	j, _, _, err := s.admit(context.Background(), "inflight", "solve", time.Minute, stubRun(s, req))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestDrainSemantics(t *testing.T) {
 	if !s.Draining() {
 		t.Fatal("Draining() = false after BeginDrain")
 	}
-	if _, _, _, err := s.admit("new", "solve", time.Minute, stubRun(s, req)); !errors.Is(err, ErrDraining) {
+	if _, _, _, err := s.admit(context.Background(), "new", "solve", time.Minute, stubRun(s, req)); !errors.Is(err, ErrDraining) {
 		t.Fatalf("admit during drain: err = %v, want ErrDraining", err)
 	}
 
@@ -251,7 +251,7 @@ func TestRetentionEviction(t *testing.T) {
 		return stubResult, nil
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		j, _, _, err := s.admit(id, "solve", time.Minute, run)
+		j, _, _, err := s.admit(context.Background(), id, "solve", time.Minute, run)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,7 +300,7 @@ func TestClassifyTable(t *testing.T) {
 func TestJobStateStrings(t *testing.T) {
 	s, started, release := gatedService(t, Config{MaxInflight: 1})
 	req := &api.SolveRequest{}
-	j, _, _, err := s.admit("a", "solve", time.Minute, stubRun(s, req))
+	j, _, _, err := s.admit(context.Background(), "a", "solve", time.Minute, stubRun(s, req))
 	if err != nil {
 		t.Fatal(err)
 	}

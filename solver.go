@@ -263,6 +263,35 @@ func wrapErr(err error) error {
 	return fmt.Errorf("batlife: %w", err)
 }
 
+// solveSpan begins the facade-level "solver.solve" span for one
+// analysis, returning the context the rest of the solve should run
+// under so the engine/core/ctmc stage spans nest beneath it. When
+// tracing is off (no registry and no span in ctx) it returns (ctx, nil)
+// without building the attribute slice, keeping the disabled path
+// allocation-free. Callers start it only after a result-memo miss:
+// a memo hit is a sub-microsecond lookup already covered by the
+// request-level span, and recording it would put span allocation on
+// the solver's hottest path (BenchmarkTraceOverhead pins the warm-path
+// overhead).
+func (s *Solver) solveSpan(ctx context.Context, analysis string) (context.Context, *obs.Span) {
+	if s.obs == nil && obs.SpanFromContext(ctx) == nil {
+		return ctx, nil
+	}
+	return obs.StartSpan(ctx, s.obs, "solver.solve", obs.String("analysis", analysis))
+}
+
+// endSolveSpan completes a facade span, recording the failure if any.
+func endSolveSpan(span *obs.Span, err error) {
+	if span == nil {
+		return
+	}
+	if err != nil {
+		span.End(obs.String("error", err.Error()))
+		return
+	}
+	span.End()
+}
+
 // solveOptions translates facade options into core solve options.
 func (s *Solver) solveOptions(opts AnalysisOptions, pool *sparse.Pool) core.SolveOptions {
 	return core.SolveOptions{
@@ -315,7 +344,9 @@ func (s *Solver) expanded(b Battery, w *Workload, opts AnalysisOptions) (*core.E
 	if opts.Report != nil {
 		start = time.Now()
 	}
-	e, hit, err := s.eng.Expanded(model, opts.Delta, core.Options{})
+	// Context rides along for span parenting only; it is not part of the
+	// fingerprint, so cache identity is unchanged.
+	e, hit, err := s.eng.Expanded(model, opts.Delta, core.Options{Context: opts.Context})
 	var buildDur time.Duration
 	if opts.Report != nil {
 		buildDur = time.Since(start)
@@ -335,7 +366,7 @@ func (s *Solver) LifetimeDistribution(b Battery, w *Workload, times []float64, o
 	return s.lifetimeDistribution(b, w, times, opts, s.eng.Pool())
 }
 
-func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, opts AnalysisOptions, pool *sparse.Pool) (*Distribution, error) {
+func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, opts AnalysisOptions, pool *sparse.Pool) (d *Distribution, err error) {
 	s.solves.Inc()
 	e, modelKey, hit, buildDur, err := s.expanded(b, w, opts)
 	if err != nil {
@@ -350,6 +381,11 @@ func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, o
 			return entry.val.(*Distribution).clone(), nil
 		}
 	}
+	ctx, span := s.solveSpan(opts.Context, "cdf")
+	if span != nil {
+		opts.Context = ctx
+		defer func() { endSolveSpan(span, err) }()
+	}
 	var start time.Time
 	if opts.Report != nil {
 		start = time.Now()
@@ -358,7 +394,7 @@ func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, o
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	d := &Distribution{
+	d = &Distribution{
 		Times:       res.Times,
 		EmptyProb:   res.EmptyProb,
 		States:      res.States,
@@ -412,7 +448,7 @@ func phasedKey(keys []engine.Key, durations []float64) engine.Key {
 // by the solver's model cache (a day/night schedule over two workloads
 // expands each exactly once, however many queries follow), and whole
 // results are memoised like every other analysis.
-func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, times []float64, opts AnalysisOptions) (*Distribution, error) {
+func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, times []float64, opts AnalysisOptions) (d *Distribution, err error) {
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("%w: no phases", ErrBadArgument)
 	}
@@ -439,7 +475,7 @@ func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, t
 		}
 		model := ph.Workload.kibamrm(b)
 		keys[i], _ = engine.Fingerprint(model, opts.Delta, core.Options{})
-		e, hit, err := s.eng.Expanded(model, opts.Delta, core.Options{})
+		e, hit, err := s.eng.Expanded(model, opts.Delta, core.Options{Context: opts.Context})
 		if err != nil {
 			return nil, wrapErr(err)
 		}
@@ -459,6 +495,11 @@ func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, t
 			return entry.val.(*Distribution).clone(), nil
 		}
 	}
+	ctx, span := s.solveSpan(opts.Context, "phased")
+	if span != nil {
+		opts.Context = ctx
+		defer func() { endSolveSpan(span, err) }()
+	}
 	if opts.Report != nil {
 		start = time.Now()
 	}
@@ -466,7 +507,7 @@ func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, t
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	d := &Distribution{
+	d = &Distribution{
 		Times:       res.Times,
 		EmptyProb:   res.EmptyProb,
 		States:      res.States,
@@ -498,7 +539,7 @@ func (s *Solver) PhasedLifetimeDistribution(b Battery, phases []WorkloadPhase, t
 // absorption-time equations (no time grid needed); see the package
 // function of the same name. Epsilon, MaxIterations, Context and
 // Progress do not apply to the direct linear solve and are ignored.
-func (s *Solver) ExpectedLifetime(b Battery, w *Workload, opts AnalysisOptions) (float64, error) {
+func (s *Solver) ExpectedLifetime(b Battery, w *Workload, opts AnalysisOptions) (mean float64, err error) {
 	s.solves.Inc()
 	e, modelKey, hit, buildDur, err := s.expanded(b, w, opts)
 	if err != nil {
@@ -513,11 +554,15 @@ func (s *Solver) ExpectedLifetime(b Battery, w *Workload, opts AnalysisOptions) 
 			return entry.val.(float64), nil
 		}
 	}
+	_, span := s.solveSpan(opts.Context, "mean")
+	if span != nil {
+		defer func() { endSolveSpan(span, err) }()
+	}
 	var start time.Time
 	if opts.Report != nil {
 		start = time.Now()
 	}
-	mean, err := e.MeanLifetime()
+	mean, err = e.MeanLifetime()
 	if err != nil {
 		return 0, wrapErr(err)
 	}
@@ -546,7 +591,7 @@ func (s *Solver) ExpectedLifetime(b Battery, w *Workload, opts AnalysisOptions) 
 // measure's semantics. The horizon must leave at least 99% of the
 // probability mass depleted, or an error matching ErrBadArgument is
 // returned.
-func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, opts AnalysisOptions) (*StrandedCharge, error) {
+func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, opts AnalysisOptions) (out *StrandedCharge, err error) {
 	if w == nil {
 		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
 	}
@@ -567,6 +612,11 @@ func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, 
 			sc := entry.val.(StrandedCharge)
 			return &sc, nil
 		}
+	}
+	ctx, span := s.solveSpan(opts.Context, "stranded")
+	if span != nil {
+		opts.Context = ctx
+		defer func() { endSolveSpan(span, err) }()
 	}
 	var start time.Time
 	if opts.Report != nil {
@@ -612,7 +662,7 @@ func (s *Solver) StrandedCharge(b Battery, w *Workload, horizonSeconds float64, 
 // downstream. Delta, Epsilon and Progress are ignored (the transform
 // needs no grid and reports no step-wise progress); Context cancels
 // between time points.
-func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts AnalysisOptions) (*Distribution, error) {
+func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts AnalysisOptions) (d *Distribution, err error) {
 	if w == nil {
 		return nil, fmt.Errorf("%w: nil workload", ErrBadArgument)
 	}
@@ -644,6 +694,11 @@ func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts Analysis
 			return entry.val.(*Distribution).clone(), nil
 		}
 	}
+	ctx, span := s.solveSpan(opts.Context, "exact")
+	if span != nil {
+		opts.Context = ctx
+		defer func() { endSolveSpan(span, err) }()
+	}
 	var start time.Time
 	if opts.Report != nil {
 		start = time.Now()
@@ -652,7 +707,7 @@ func (s *Solver) ExactCDF(b Battery, w *Workload, times []float64, opts Analysis
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	d := &Distribution{
+	d = &Distribution{
 		Times:       append([]float64(nil), times...),
 		EmptyProb:   probs,
 		States:      stats.States,
@@ -776,10 +831,14 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 			defer wg.Done()
 			for idx := range jobs {
 				sc := scenarios[idx]
+				// The scenario span parents from the sweep caller's
+				// context (so daemon sweeps nest under their request
+				// trace) and the scenario's own solve runs under it.
+				scCtx := ctx
 				var span *obs.Span
 				if s.obs != nil {
 					queueWait.ObserveDuration(time.Since(enqueued[idx]).Seconds())
-					span = s.obs.Tracer().Start("sweep.scenario",
+					scCtx, span = obs.StartSpan(ctx, s.obs, "sweep.scenario",
 						obs.Int("index", int64(idx)),
 						obs.String("name", sc.Name),
 						obs.Float("delta", sc.DeltaAs))
@@ -792,7 +851,7 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 						Delta:         sc.DeltaAs,
 						Epsilon:       opts.Epsilon,
 						MaxIterations: opts.MaxIterations,
-						Context:       ctx,
+						Context:       scCtx,
 					}, pool)
 				}
 				switch {
