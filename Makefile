@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race checks lint lint-flow fuzz gen-checks bench serve ci
+.PHONY: all build test race checks lint lint-flow fuzz gen-checks bench bench-gate bench-baseline serve ci
 
 all: build test lint
 
@@ -62,7 +62,11 @@ gen-checks:
 ## vs uninstrumented solves) in BENCH_obs.json, and the request-scoped
 ## tracing overhead benchmark (disabled / enabled / traced-context warm
 ## solves) in BENCH_trace.json, for machine comparison across commits.
+## The SpMV runtime benchmarks (persistent pool vs spawn-per-product,
+## fused and batched kernels) land in BENCH_spmv.json; BENCHCOUNT > 1
+## repeats each benchmark so the gate's min-of-N filters scheduler noise.
 BENCHTIME ?= 1x
+BENCHCOUNT ?= 1
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./...
 	$(GO) test -bench='BenchmarkSolverCachedReuse|BenchmarkSweepParallel' \
@@ -71,6 +75,21 @@ bench:
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_obs.json
 	$(GO) test -bench='^BenchmarkTraceOverhead$$' \
 		-benchtime=$(BENCHTIME) -run='^$$' -json . > BENCH_trace.json
+	$(GO) test -bench='^BenchmarkUniformizedSpMV' -count=$(BENCHCOUNT) \
+		-benchtime=$(BENCHTIME) -run='^$$' -json ./internal/sparse > BENCH_spmv.json
+
+## bench-gate: fail if the SpMV benchmarks regressed against the
+## committed BENCH_BASELINE.json (tolerance lives in the baseline;
+## override per-run with `go run ./tools/benchgate -tolerance 0.2 ...`).
+## Run `make bench` first (or let this target's dependency do it).
+bench-gate: bench
+	$(GO) run ./tools/benchgate -baseline BENCH_BASELINE.json BENCH_spmv.json
+
+## bench-baseline: refresh the committed benchmark baseline from a fresh
+## measurement on this machine. Use real repetitions, then commit the
+## result: `make bench-baseline BENCHTIME=2s BENCHCOUNT=5`.
+bench-baseline: bench
+	$(GO) run ./tools/benchgate -baseline BENCH_BASELINE.json -write-baseline BENCH_spmv.json
 
 ## serve: run the batlifed HTTP daemon locally (override the listen
 ## address with ADDR, e.g. `make serve ADDR=:9000`). See docs/SERVICE.md.

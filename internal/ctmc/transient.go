@@ -76,11 +76,20 @@ func (o TransientOptions) slack() float64 {
 	return o.UniformizationSlack
 }
 
-func (o TransientOptions) pool() *sparse.Pool {
+// pool resolves the SpMV pool for one solve. The second result reports
+// ownership: an owned pool was created for this solve and must be
+// closed when the solve finishes. The nil-Pool, default-Workers path
+// shares the process-wide sparse.DefaultPool — with persistent worker
+// goroutines, constructing a pool per solve would leak a worker set
+// every call.
+func (o TransientOptions) pool() (*sparse.Pool, bool) {
 	if o.Pool != nil {
-		return o.Pool
+		return o.Pool, false
 	}
-	return sparse.NewPool(o.Workers)
+	if o.Workers == 0 {
+		return sparse.DefaultPool(), false
+	}
+	return sparse.NewPool(o.Workers), true
 }
 
 // Result is the output of a transient solve.
@@ -307,7 +316,10 @@ func (u *Uniformized) transient(alpha, w, times []float64, opts TransientOptions
 			ErrIterationBudget, maxRight, opts.MaxIterations)
 	}
 
-	pool := opts.pool()
+	pool, ownedPool := opts.pool()
+	if ownedPool {
+		defer pool.Close()
+	}
 
 	// Accumulators.
 	if w == nil {
@@ -371,20 +383,39 @@ func (u *Uniformized) transient(alpha, w, times []float64, opts TransientOptions
 		pool.PutVec(v)
 		pool.PutVec(next)
 	}()
+	// Single-time-point distribution solves (wasted-charge, charge
+	// moments, state snapshots) fold each iterate into exactly one
+	// accumulator, so the fold fuses into the product: dst = Pᵀ·v and
+	// acc += p·dst in one pass over the matrix. Iterations that run the
+	// steady-state check keep the unfused kernel — the tail fold on
+	// convergence must see an un-accumulated iterate, exactly like the
+	// serial reference. Every fold is an element-independent multiply-
+	// add, so fused and unfused paths are bit-identical.
+	fused := w == nil && len(times) == 1
+	foldedAhead := false
 	for it := 0; it <= maxRight; it++ {
 		if ctx := opts.Context; ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("ctmc: transient solve cancelled at step %d: %w", it, err)
 			}
 		}
-		foldIn(it, v, false)
+		if !foldedAhead {
+			foldIn(it, v, false)
+		}
+		foldedAhead = false
 		if it == maxRight {
 			break
 		}
-		if err := pool.MulVec(u.pt, next, v); err != nil {
+		ssdNow := !opts.DisableSteadyStateDetection && it%checkEvery == 0
+		if fused && !ssdNow {
+			if err := pool.MulVecAccum(u.pt, next, v, res.Distributions[0], weights[0].At(it+1)); err != nil {
+				return nil, fmt.Errorf("ctmc: uniformisation step %d: %w", it, err)
+			}
+			foldedAhead = true
+		} else if err := pool.MulVec(u.pt, next, v); err != nil {
 			return nil, fmt.Errorf("ctmc: uniformisation step %d: %w", it, err)
 		}
-		if !opts.DisableSteadyStateDetection && it%checkEvery == 0 {
+		if ssdNow {
 			maxDelta := 0.0
 			for i := range v {
 				if d := math.Abs(next[i] - v[i]); d > maxDelta {

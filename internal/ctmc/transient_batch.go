@@ -1,0 +1,294 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"batlife/internal/check"
+	"batlife/internal/foxglynn"
+	"batlife/internal/obs"
+)
+
+// TransientMulti runs a batch of transient solves against one prebuilt
+// operator in lockstep: right-hand side k starts from alphas[k] and is
+// evaluated at the time points grids[k] (each ascending), with w — when
+// non-nil — the shared functional (w·π(t) per grid point; nil yields
+// full distributions). Every uniformisation step advances all still-
+// active right-hand sides through one batched Pᵀ product
+// (sparse.Pool.MulVecMulti), so the matrix is traversed once per step
+// for the whole batch instead of once per solve — the amortisation a
+// scenario sweep over one expanded chain wants.
+//
+// Results[k] is bit-identical to the solo call
+// Transient(alphas[k], w, grids[k], opts): each right-hand side's
+// iterate sequence, Poisson folds, steady-state detection schedule and
+// tail handling are exactly those of its own solo solve. A right-hand
+// side whose Fox–Glynn window (or steady-state detection) finishes
+// early retires from the batch and stops paying products.
+//
+// Epsilon, Pool/Workers, MaxIterations, Context and Obs behave as in
+// Transient. OnIteration is not supported on the batched path (there is
+// no single iteration total to report against) and is ignored.
+func (u *Uniformized) TransientMulti(alphas [][]float64, w []float64, grids [][]float64, opts TransientOptions) ([]*Result, error) {
+	reg := opts.Obs
+	if reg == nil {
+		return u.transientMulti(alphas, w, grids, opts)
+	}
+	_, span := obs.StartSpan(opts.Context, reg, "ctmc.transient_multi",
+		obs.Int("states", int64(u.gen.Rows())),
+		obs.Int("rhs", int64(len(alphas))))
+	ress, err := u.transientMulti(alphas, w, grids, opts)
+	if err != nil {
+		reg.Counter("ctmc_solve_errors_total").Inc()
+		span.End(obs.String("error", err.Error()))
+		return nil, err
+	}
+	var iters, spmvs int64
+	for _, res := range ress {
+		iters += int64(res.Iterations)
+		spmvs += int64(res.SpMVs)
+		if res.FoxGlynnRight > 0 {
+			reg.Histogram("ctmc_foxglynn_window").Observe(float64(res.FoxGlynnRight - res.FoxGlynnLeft + 1))
+		}
+	}
+	reg.Counter("ctmc_solves_total").Add(int64(len(ress)))
+	reg.Counter("ctmc_batched_solves_total").Inc()
+	reg.Counter("ctmc_uniformization_iterations_total").Add(iters)
+	reg.Counter("ctmc_spmv_total").Add(spmvs)
+	span.End(obs.Int("iterations", iters))
+	return ress, nil
+}
+
+// batchMember is the per-right-hand-side iteration state of one batched
+// transient solve.
+type batchMember struct {
+	k        int
+	res      *Result
+	weights  []*foxglynn.Weights
+	maxRight int
+	v, next  []float64
+	w        []float64 // shared functional, nil for distribution solves
+}
+
+// foldIn accumulates weight·v into every requested time point of this
+// member — the batched twin of the solo solve's foldIn closure.
+func (b *batchMember) foldIn(it int, v []float64, tailMass bool) {
+	if b.w == nil {
+		for k, fw := range b.weights {
+			p := fw.At(it)
+			if tailMass {
+				p = tailWeight(fw, it)
+			}
+			if p > 0 {
+				dst := b.res.Distributions[k]
+				for i, vi := range v {
+					dst[i] += p * vi
+				}
+			}
+		}
+		return
+	}
+	var s float64
+	computed := false
+	for k, fw := range b.weights {
+		p := fw.At(it)
+		if tailMass {
+			p = tailWeight(fw, it)
+		}
+		if p > 0 {
+			if !computed {
+				for i, vi := range v {
+					s += b.w[i] * vi
+				}
+				computed = true
+			}
+			b.res.Values[k] += p * s
+		}
+	}
+}
+
+// transientMulti is the uninstrumented solve behind TransientMulti.
+func (u *Uniformized) transientMulti(alphas [][]float64, w []float64, grids [][]float64, opts TransientOptions) ([]*Result, error) {
+	n := u.gen.Rows()
+	if len(alphas) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadInput)
+	}
+	if len(grids) != len(alphas) {
+		return nil, fmt.Errorf("%w: %d time grids for %d right-hand sides", ErrBadInput, len(grids), len(alphas))
+	}
+	if w != nil && len(w) != n {
+		return nil, fmt.Errorf("%w: |w|=%d for %d states", ErrBadInput, len(w), n)
+	}
+	for k, alpha := range alphas {
+		if len(alpha) != n {
+			return nil, fmt.Errorf("%w: rhs %d: |alpha|=%d for %d states", ErrBadInput, k, len(alpha), n)
+		}
+		sum := 0.0
+		for _, a := range alpha {
+			if a < 0 || math.IsNaN(a) {
+				return nil, fmt.Errorf("%w: rhs %d: negative or NaN initial probability", ErrBadInput, k)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("%w: rhs %d: initial distribution sums to %v", ErrBadInput, k, sum)
+		}
+		times := grids[k]
+		if len(times) == 0 {
+			return nil, fmt.Errorf("%w: rhs %d: no time points", ErrBadInput, k)
+		}
+		for _, t := range times {
+			if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+				return nil, fmt.Errorf("%w: rhs %d: time point %v", ErrBadInput, k, t)
+			}
+		}
+		if !sort.Float64sAreSorted(times) {
+			return nil, fmt.Errorf("%w: rhs %d: time points must be ascending", ErrBadInput, k)
+		}
+	}
+
+	check.GeneratorRows("ctmc.transientMulti generator", u.gen)
+
+	ress := make([]*Result, len(alphas))
+	if u.q == 0 {
+		// No transitions anywhere: every distribution stays frozen.
+		for k := range ress {
+			res := &Result{Times: append([]float64(nil), grids[k]...)}
+			ress[k] = validatedResult(frozenResult(res, alphas[k], w, grids[k]))
+		}
+		return ress, nil
+	}
+
+	// Per-member Poisson windows and accumulators.
+	members := make([]*batchMember, len(alphas))
+	globalMax := 0
+	for k := range alphas {
+		times := grids[k]
+		res := &Result{Times: append([]float64(nil), times...), Rate: u.q}
+		weights := make([]*foxglynn.Weights, len(times))
+		maxRight := 0
+		minLeft := math.MaxInt
+		for j, t := range times {
+			fw, err := u.weightsFor(t, opts.epsilon())
+			if err != nil {
+				return nil, fmt.Errorf("ctmc: rhs %d: poisson weights for t=%v: %w", k, t, err)
+			}
+			weights[j] = fw
+			if fw.Right > maxRight {
+				maxRight = fw.Right
+			}
+			if fw.Left < minLeft {
+				minLeft = fw.Left
+			}
+		}
+		res.FoxGlynnLeft, res.FoxGlynnRight = minLeft, maxRight
+		if opts.MaxIterations > 0 && maxRight > opts.MaxIterations {
+			return nil, fmt.Errorf("%w: rhs %d needs %d uniformisation steps, limit is %d",
+				ErrIterationBudget, k, maxRight, opts.MaxIterations)
+		}
+		if w == nil {
+			res.Distributions = make([][]float64, len(times))
+			for j := range res.Distributions {
+				res.Distributions[j] = make([]float64, n)
+			}
+		} else {
+			res.Values = make([]float64, len(times))
+		}
+		members[k] = &batchMember{k: k, res: res, weights: weights, maxRight: maxRight, w: w}
+		if maxRight > globalMax {
+			globalMax = maxRight
+		}
+		ress[k] = res
+	}
+
+	pool, ownedPool := opts.pool()
+	if ownedPool {
+		defer pool.Close()
+	}
+	for _, b := range members {
+		b.v = pool.GetVec(n)
+		copy(b.v, alphas[b.k])
+		b.next = pool.GetVec(n)
+	}
+	defer func() {
+		for _, b := range members {
+			pool.PutVec(b.v)
+			pool.PutVec(b.next)
+		}
+	}()
+
+	ssdTol := opts.epsilon()
+	checkEvery := 16
+
+	// Reusable product argument slices sized for the whole batch.
+	xs := make([][]float64, 0, len(members))
+	ds := make([][]float64, 0, len(members))
+
+	// The active set is filtered in place as members retire; it must not
+	// share a backing array with members, which the scratch-vector
+	// cleanup above iterates in full.
+	active := append(make([]*batchMember, 0, len(members)), members...)
+	for it := 0; it <= globalMax && len(active) > 0; it++ {
+		if ctx := opts.Context; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ctmc: batched transient solve cancelled at step %d: %w", it, err)
+			}
+		}
+		// Fold this iterate into every member's accumulators; members at
+		// the end of their window retire — like the solo loop's break.
+		live := active[:0]
+		for _, b := range active {
+			b.foldIn(it, b.v, false)
+			if it < b.maxRight {
+				live = append(live, b)
+			}
+		}
+		active = live
+		if len(active) == 0 {
+			break
+		}
+
+		// One batched product advances every live right-hand side.
+		xs, ds = xs[:0], ds[:0]
+		for _, b := range active {
+			xs = append(xs, b.v)
+			ds = append(ds, b.next)
+		}
+		if err := pool.MulVecMulti(u.pt, ds, xs); err != nil {
+			return nil, fmt.Errorf("ctmc: batched uniformisation step %d: %w", it, err)
+		}
+
+		if !opts.DisableSteadyStateDetection && it%checkEvery == 0 {
+			live = active[:0]
+			for _, b := range active {
+				maxDelta := 0.0
+				for i := range b.v {
+					if d := math.Abs(b.next[i] - b.v[i]); d > maxDelta {
+						maxDelta = d
+					}
+				}
+				if maxDelta <= ssdTol {
+					// Converged: fold the remaining window mass in one
+					// shot and retire, exactly like the solo solve.
+					b.v, b.next = b.next, b.v
+					b.res.Iterations++
+					b.res.SpMVs++
+					b.foldIn(it+1, b.v, true)
+					continue
+				}
+				live = append(live, b)
+			}
+			active = live
+		}
+		for _, b := range active {
+			b.v, b.next = b.next, b.v
+			b.res.Iterations++
+			b.res.SpMVs++
+		}
+	}
+	for k := range ress {
+		validatedResult(ress[k])
+	}
+	return ress, nil
+}

@@ -1,0 +1,221 @@
+package ctmc
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// batchChain builds a small cyclic chain with an absorbing tail — enough
+// structure that transient distributions keep moving for a while and
+// steady-state detection eventually fires.
+func batchChain(t *testing.T) *Chain {
+	t.Helper()
+	var b Builder
+	b.Transition("a", "b", 2.0)
+	b.Transition("b", "c", 1.5)
+	b.Transition("c", "a", 0.75)
+	b.Transition("c", "d", 0.25)
+	b.Transition("b", "d", 0.1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mustUniformized wraps NewUniformized for tests.
+func mustUniformized(t *testing.T, c *Chain, opts TransientOptions) *Uniformized {
+	t.Helper()
+	u, err := NewUniformized(c.Generator(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// sameResult asserts bit-identity between a batched member's result and
+// its solo twin: the batched path promises the exact float sequence of
+// the solo solve, not an approximation of it.
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Iterations != want.Iterations || got.SpMVs != want.SpMVs {
+		t.Errorf("%s: iterations/spmvs = %d/%d, want %d/%d",
+			label, got.Iterations, got.SpMVs, want.Iterations, want.SpMVs)
+	}
+	if got.FoxGlynnLeft != want.FoxGlynnLeft || got.FoxGlynnRight != want.FoxGlynnRight {
+		t.Errorf("%s: window [%d,%d], want [%d,%d]",
+			label, got.FoxGlynnLeft, got.FoxGlynnRight, want.FoxGlynnLeft, want.FoxGlynnRight)
+	}
+	if len(got.Values) != len(want.Values) || len(got.Distributions) != len(want.Distributions) {
+		t.Fatalf("%s: result arity mismatch", label)
+	}
+	for j := range got.Values {
+		if got.Values[j] != want.Values[j] {
+			t.Errorf("%s: Values[%d] = %v, want %v (bit-identical)", label, j, got.Values[j], want.Values[j])
+		}
+	}
+	for j := range got.Distributions {
+		for i := range got.Distributions[j] {
+			if got.Distributions[j][i] != want.Distributions[j][i] {
+				t.Errorf("%s: Distributions[%d][%d] = %v, want %v (bit-identical)",
+					label, j, i, got.Distributions[j][i], want.Distributions[j][i])
+			}
+		}
+	}
+}
+
+// TestTransientMultiMatchesSolo is the batched path's golden test:
+// every member of a mixed batch — different initial distributions,
+// different grid lengths and horizons, duplicate grids — must be
+// bit-identical to its own solo Transient call, in distribution mode
+// and in functional mode, with steady-state detection on and off.
+func TestTransientMultiMatchesSolo(t *testing.T) {
+	c := batchChain(t)
+	n := c.NumStates()
+	u := mustUniformized(t, c, TransientOptions{})
+
+	alphas := [][]float64{
+		c.PointDistribution(0),
+		c.PointDistribution(1),
+		c.UniformDistribution(),
+		c.PointDistribution(0), // duplicate alpha, distinct grid
+	}
+	grids := [][]float64{
+		{0.5, 1, 2, 8},
+		{3},
+		{0.25, 40}, // long horizon: SSD retires this member late
+		{0.5, 1, 2, 8},
+	}
+	w := make([]float64, n)
+	w[c.Index("d")] = 1
+
+	for _, tc := range []struct {
+		name string
+		w    []float64
+		ssd  bool
+	}{
+		{"distributions ssd", nil, false},
+		{"distributions nossd", nil, true},
+		{"functional ssd", w, false},
+		{"functional nossd", w, true},
+	} {
+		opts := TransientOptions{DisableSteadyStateDetection: tc.ssd}
+		batch, err := u.TransientMulti(alphas, tc.w, grids, opts)
+		if err != nil {
+			t.Fatalf("%s: TransientMulti: %v", tc.name, err)
+		}
+		if len(batch) != len(alphas) {
+			t.Fatalf("%s: %d results for %d members", tc.name, len(batch), len(alphas))
+		}
+		for k := range alphas {
+			solo, err := u.Transient(alphas[k], tc.w, grids[k], opts)
+			if err != nil {
+				t.Fatalf("%s: solo %d: %v", tc.name, k, err)
+			}
+			sameResult(t, tc.name, batch[k], solo)
+		}
+	}
+}
+
+// TestTransientMultiSingleMemberMatchesFusedSolo pins the fused
+// single-time solo path against the (unfused) batched path: the fused
+// MulVecAccum step must not change a single bit of the answer.
+func TestTransientMultiSingleMemberMatchesFusedSolo(t *testing.T) {
+	c := batchChain(t)
+	u := mustUniformized(t, c, TransientOptions{})
+	alpha := c.PointDistribution(0)
+	grid := []float64{2.5} // single time point: solo side takes the fused kernel
+	solo, err := u.Transient(alpha, nil, grid, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := u.TransientMulti([][]float64{alpha}, nil, [][]float64{grid}, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "fused-vs-batched", batch[0], solo)
+}
+
+// TestTransientMultiZeroGenerator: a transition-free chain freezes every
+// member at its initial distribution, as in the solo path.
+func TestTransientMultiZeroGenerator(t *testing.T) {
+	var b Builder
+	b.State("only")
+	b.State("other")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mustUniformized(t, c, TransientOptions{})
+	alphas := [][]float64{c.PointDistribution(0), c.PointDistribution(1)}
+	grids := [][]float64{{0, 5}, {10}}
+	batch, err := u.TransientMulti(alphas, nil, grids, TransientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range batch {
+		solo, err := u.Transient(alphas[k], nil, grids[k], TransientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "frozen", batch[k], solo)
+	}
+}
+
+// TestTransientMultiValidation walks the batched validation surface;
+// every rejection must identify itself as ErrBadInput (or the iteration
+// budget) without touching the pool.
+func TestTransientMultiValidation(t *testing.T) {
+	c := batchChain(t)
+	n := c.NumStates()
+	u := mustUniformized(t, c, TransientOptions{})
+	good := c.PointDistribution(0)
+	gt := []float64{1, 2}
+
+	bad := make([]float64, n)
+	bad[0] = 0.5 // sums to 0.5
+	neg := make([]float64, n)
+	neg[0], neg[1] = 1.5, -0.5
+
+	cases := []struct {
+		name   string
+		alphas [][]float64
+		w      []float64
+		grids  [][]float64
+	}{
+		{"empty batch", nil, nil, nil},
+		{"grid arity", [][]float64{good}, nil, [][]float64{gt, gt}},
+		{"alpha length", [][]float64{good[:n-1]}, nil, [][]float64{gt}},
+		{"alpha sum", [][]float64{bad}, nil, [][]float64{gt}},
+		{"alpha negative", [][]float64{neg}, nil, [][]float64{gt}},
+		{"w length", [][]float64{good}, []float64{1}, [][]float64{gt}},
+		{"empty grid", [][]float64{good}, nil, [][]float64{{}}},
+		{"negative time", [][]float64{good}, nil, [][]float64{{-1}}},
+		{"descending grid", [][]float64{good}, nil, [][]float64{{2, 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := u.TransientMulti(tc.alphas, tc.w, tc.grids, TransientOptions{}); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", tc.name, err)
+		}
+	}
+
+	if _, err := u.TransientMulti([][]float64{good}, nil, [][]float64{{1e6}},
+		TransientOptions{MaxIterations: 3}); !errors.Is(err, ErrIterationBudget) {
+		t.Errorf("iteration budget: err = %v, want ErrIterationBudget", err)
+	}
+}
+
+// TestTransientMultiCancellation: a cancelled context aborts the batch
+// between steps with a wrapped context error.
+func TestTransientMultiCancellation(t *testing.T) {
+	c := batchChain(t)
+	u := mustUniformized(t, c, TransientOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := u.TransientMulti([][]float64{c.PointDistribution(0)}, nil, [][]float64{{5}},
+		TransientOptions{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -100,6 +100,11 @@ func New(o Options) *Engine {
 // Pool returns the engine's shared SpMV worker pool.
 func (e *Engine) Pool() *sparse.Pool { return e.pool }
 
+// Close releases the engine's persistent SpMV worker goroutines. The
+// engine stays usable — later solves run their products serially — so
+// Close is a resource release, not a poison pill. Idempotent.
+func (e *Engine) Close() { e.pool.Close() }
+
 // CachedModels reports how many expanded models are currently retained.
 func (e *Engine) CachedModels() int { return e.models.Len() }
 

@@ -109,6 +109,10 @@ type Service struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // running + queued jobs
 
+	// ownsSolver records that New constructed the solver (Config.Solver
+	// was nil), so a completed Drain releases its worker goroutines too.
+	ownsSolver bool
+
 	// Pre-resolved instruments (nil without Obs; methods on nil are
 	// no-ops).
 	inflightGauge *obs.Gauge
@@ -136,7 +140,10 @@ func New(cfg Config) *Service {
 		jobs:   make(map[string]*job),
 	}
 	if s.solver == nil {
+		// The daemon owns this solver — and so its persistent SpMV worker
+		// pool — for its whole lifetime; Drain releases it.
 		s.solver = batlife.NewSolver(batlife.SolverOptions{Telemetry: cfg.Obs})
+		s.ownsSolver = true
 	}
 	if s.reg != nil {
 		s.inflightGauge = s.reg.Gauge("service_inflight")
@@ -163,7 +170,10 @@ func (s *Service) BeginDrain() { s.draining.Store(true) }
 
 // Drain performs a graceful shutdown: stop admitting, then wait for
 // every admitted job to finish or for ctx to expire, whichever comes
-// first. It returns ctx.Err() on expiry, nil once idle.
+// first. It returns ctx.Err() on expiry, nil once idle. A successful
+// drain of a service that constructed its own solver (Config.Solver was
+// nil) also closes that solver's persistent SpMV worker pool; on expiry
+// the workers are left running because jobs may still be using them.
 func (s *Service) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	idle := make(chan struct{})
@@ -173,6 +183,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		if s.ownsSolver {
+			s.solver.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -245,6 +245,40 @@ func TestDrainSemantics(t *testing.T) {
 	}
 }
 
+func TestDrainClosesOwnedSolver(t *testing.T) {
+	// A service that constructed its own solver releases the solver's
+	// persistent SpMV workers on a successful drain; the solver must
+	// stay usable (it degrades to serial products) for late stats reads
+	// or a drain-then-flush shutdown sequence.
+	s := New(Config{MaxInflight: 1})
+	if !s.ownsSolver {
+		t.Fatal("service with nil Config.Solver does not own its solver")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	w, err := batlife.OnOffWorkload(1, 1, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := batlife.Battery{CapacityAs: 7200, AvailableFraction: 1}
+	if _, err := s.Solver().LifetimeDistribution(b, w, []float64{9000},
+		batlife.AnalysisOptions{Delta: 100}); err != nil {
+		t.Fatalf("solve after drain: %v", err)
+	}
+
+	// A caller-supplied solver is not the service's to close.
+	shared := batlife.NewSolver(batlife.SolverOptions{})
+	defer shared.Close()
+	s2 := New(Config{Solver: shared, MaxInflight: 1})
+	if s2.ownsSolver {
+		t.Fatal("service with caller-supplied solver claims ownership")
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
 func TestRetentionEviction(t *testing.T) {
 	s := New(Config{MaxInflight: 2, JobRetention: 2})
 	run := func(ctx context.Context, _ func(done, total int)) (any, error) {

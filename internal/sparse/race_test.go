@@ -46,6 +46,7 @@ func TestPoolMulVecConcurrentSharing(t *testing.T) {
 	)
 	m := buildStressCSR(t, rows, 5)
 	pool := NewPool(4)
+	defer pool.Close()
 
 	x := make([]float64, rows)
 	for i := range x {
@@ -105,6 +106,7 @@ func TestPoolMulVecConcurrentPools(t *testing.T) {
 		go func(workers int) {
 			defer wg.Done()
 			pool := NewPool(workers)
+			defer pool.Close()
 			dst := make([]float64, rows)
 			if err := pool.MulVec(m, dst, x); err != nil {
 				t.Errorf("pool(%d): %v", workers, err)

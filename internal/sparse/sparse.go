@@ -13,12 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"batlife/internal/check"
-	"batlife/internal/obs"
 )
 
 // ErrShape reports a dimension mismatch between a matrix and a vector or
@@ -126,6 +124,12 @@ type CSR struct {
 	rowPtr     []int32
 	colIdx     []int32
 	vals       []float64
+
+	// part caches the most recently computed nnz-balanced row partition
+	// (one entry suffices: a matrix is nearly always driven by one pool
+	// with a fixed worker count). Validate invalidates it, so hand-built
+	// matrices that mutate and re-validate get fresh chunk boundaries.
+	part atomic.Pointer[rowPartition]
 }
 
 // Validate performs a structural self-check: row-pointer monotonicity
@@ -135,6 +139,10 @@ type CSR struct {
 // debugchecks invariant layer (internal/check) and is cheap enough to
 // call directly in tests.
 func (m *CSR) Validate() error {
+	// Validation is the designated entry point after any out-of-band
+	// mutation of a hand-built matrix, so drop the cached row partition:
+	// its chunk boundaries were balanced for the old sparsity pattern.
+	m.part.Store(nil)
 	if len(m.rowPtr) != m.rows+1 {
 		return fmt.Errorf("sparse: rowPtr has %d entries for %d rows", len(m.rowPtr), m.rows)
 	}
@@ -313,129 +321,168 @@ func (m *CSR) Dense() [][]float64 {
 	return d
 }
 
-// PoolMetrics bundles the observability handles a Pool records into.
-// The counters are resolved once at pool construction (metric lookup is
-// a lock + map read, too slow for the SpMV path) and are nil-safe, so a
-// metrics-free pool costs exactly two nil checks per product.
-type PoolMetrics struct {
-	// SpMV counts every matrix-vector product; SpMVParallel the subset
-	// dispatched across worker goroutines (large matrices only).
-	SpMV, SpMVParallel *obs.Counter
-	// VecGets, VecPuts and VecAllocs describe the scratch-vector pool:
-	// gets and puts are deterministic per solve; allocs additionally
-	// counts gets that found no reusable buffer (sync.Pool eviction makes
-	// this one nondeterministic).
-	VecGets, VecPuts, VecAllocs *obs.Counter
-}
-
-// PoolMetricsFrom resolves the pool metric handles from a registry; a
-// nil registry yields all-nil handles (every record is a no-op).
-func PoolMetricsFrom(reg *obs.Registry) PoolMetrics {
-	if reg == nil {
-		return PoolMetrics{}
+// MulVecAccum computes dst = m·x and, when w != 0, acc[r] += w·dst[r]
+// in the same pass — the serial fused kernel behind Pool.MulVecAccum.
+// dst, x and acc must not alias. Bit-identical to MulVec followed by an
+// element-wise accumulate: each element sees the same multiply-add in
+// the same order.
+//
+//numlint:hotpath
+func (m *CSR) MulVecAccum(dst, x, acc []float64, w float64) error {
+	if len(x) != m.cols || len(dst) != m.rows || len(acc) != m.rows {
+		//numlint:ignore hotalloc cold shape-error path, never taken per SpMV iteration
+		return fmt.Errorf("sparse: MulVecAccum %dx%d with |x|=%d |dst|=%d |acc|=%d: %w",
+			m.rows, m.cols, len(x), len(dst), len(acc), ErrShape)
 	}
-	return PoolMetrics{
-		SpMV:         reg.Counter("sparse_pool_spmv_total"),
-		SpMVParallel: reg.Counter("sparse_pool_spmv_parallel_total"),
-		VecGets:      reg.Counter("sparse_pool_vec_gets_total"),
-		VecPuts:      reg.Counter("sparse_pool_vec_puts_total"),
-		VecAllocs:    reg.Counter("sparse_pool_vec_allocs_total"),
+	m.mulAccumRows(dst, x, acc, w, 0, m.rows)
+	check.FiniteVec("sparse.CSR.MulVecAccum", dst)
+	return nil
+}
+
+// MulVecMulti computes dsts[k] = m·xs[k] for every right-hand side in a
+// single traversal of the matrix — the serial batched kernel behind
+// Pool.MulVecMulti. Row data (column indices and values) is loaded once
+// per row and reused across all right-hand sides. Each dsts[k] is
+// bit-identical to a solo MulVec(dsts[k], xs[k]).
+//
+//numlint:hotpath
+func (m *CSR) MulVecMulti(dsts, xs [][]float64) error {
+	if len(dsts) != len(xs) {
+		//numlint:ignore hotalloc cold shape-error path, never taken per SpMV iteration
+		return fmt.Errorf("sparse: MulVecMulti with %d dsts for %d xs: %w", len(dsts), len(xs), ErrShape)
 	}
-}
-
-// Pool executes parallel matrix-vector products over a fixed set of
-// worker goroutines and recycles iteration-scratch vectors. A zero-value
-// Pool is not valid; use NewPool. The pool owns no goroutines between
-// calls — workers are spawned per product and joined before returning,
-// so a Pool never leaks.
-type Pool struct {
-	workers int
-	m       PoolMetrics
-	vecs    sync.Pool // of *[]float64
-}
-
-// NewPool returns a Pool with the given parallelism; workers <= 0 selects
-// runtime.NumCPU().
-func NewPool(workers int) *Pool {
-	return NewPoolObs(workers, nil)
-}
-
-// NewPoolObs is NewPool with an observability registry; the pool's SpMV
-// and scratch-vector traffic is recorded there. A nil registry disables
-// recording at no cost.
-func NewPoolObs(workers int, reg *obs.Registry) *Pool {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	return &Pool{workers: workers, m: PoolMetricsFrom(reg)}
-}
-
-// Workers reports the pool's parallelism.
-func (p *Pool) Workers() int { return p.workers }
-
-// GetVec returns a length-n scratch vector, zeroed, reusing a previously
-// Put buffer when one of sufficient capacity is available. Callers
-// return it with PutVec when done; vectors that escape (results) must be
-// allocated normally instead.
-func (p *Pool) GetVec(n int) []float64 {
-	p.m.VecGets.Add(1)
-	if v, ok := p.vecs.Get().(*[]float64); ok && cap(*v) >= n {
-		s := (*v)[:n]
-		for i := range s {
-			s[i] = 0
+	for k := range xs {
+		if len(xs[k]) != m.cols || len(dsts[k]) != m.rows {
+			//numlint:ignore hotalloc cold shape-error path, never taken per SpMV iteration
+			return fmt.Errorf("sparse: MulVecMulti %dx%d with |xs[%d]|=%d |dsts[%d]|=%d: %w",
+				m.rows, m.cols, k, len(xs[k]), k, len(dsts[k]), ErrShape)
 		}
-		return s
 	}
-	p.m.VecAllocs.Add(1)
-	return make([]float64, n)
+	m.mulMultiRows(dsts, xs, 0, m.rows)
+	if check.Enabled {
+		for k := range dsts {
+			check.FiniteVec("sparse.CSR.MulVecMulti", dsts[k])
+		}
+	}
+	return nil
 }
 
-// PutVec returns a scratch vector obtained from GetVec to the pool.
-func (p *Pool) PutVec(v []float64) {
-	if v == nil {
+// mulRows is the plain SpMV kernel over one row range. The CSR arrays
+// are hoisted into locals: indexing receiver fields inside the loop
+// defeats bounds-check elimination (the compiler must assume dst writes
+// may alias the header of m.vals) and costs ~35% on a 50k-row chain.
+func (m *CSR) mulRows(dst, x []float64, lo, hi int) {
+	rowPtr, vals, colIdx := m.rowPtr, m.vals, m.colIdx
+	for r := lo; r < hi; r++ {
+		sum := 0.0
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			sum += vals[i] * x[colIdx[i]]
+		}
+		dst[r] = sum
+	}
+}
+
+// mulAccumRows is the fused multiply-accumulate kernel over one row
+// range: dst[r] = m[r,:]·x and, when w != 0, acc[r] += w·dst[r] while
+// the freshly computed sum is still in a register.
+func (m *CSR) mulAccumRows(dst, x, acc []float64, w float64, lo, hi int) {
+	if w == 0 {
+		// Matches the unfused path exactly: a zero Poisson weight folds
+		// nothing in (foldIn skips p <= 0), so skip the accumulate
+		// rather than adding +0.0 to every element.
+		m.mulRows(dst, x, lo, hi)
 		return
 	}
-	p.m.VecPuts.Add(1)
-	p.vecs.Put(&v)
+	rowPtr, vals, colIdx := m.rowPtr, m.vals, m.colIdx
+	for r := lo; r < hi; r++ {
+		sum := 0.0
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			sum += vals[i] * x[colIdx[i]]
+		}
+		dst[r] = sum
+		acc[r] += w * sum
+	}
 }
 
-// MulVec computes dst = m·x with rows partitioned across the pool's
-// workers. dst and x must not alias.
-func (p *Pool) MulVec(m *CSR, dst, x []float64) error {
-	if len(x) != m.cols || len(dst) != m.rows {
-		return fmt.Errorf("sparse: parallel MulVec %dx%d with |x|=%d |dst|=%d: %w",
-			m.rows, m.cols, len(x), len(dst), ErrShape)
+// mulMultiRows is the batched multi-RHS kernel over one row range: one
+// full sweep of the range per right-hand side, so each (k, row)
+// accumulates in exactly MulVec's entry order (bit-identity). Per-row
+// and row-tiled interleavings were measured and rejected: the matrix
+// arrays stream sequentially (the prefetcher hides them) while the
+// gathers into x do not, and interleaving k right-hand sides multiplies
+// the gather working set by k — ~2x slower on a 50k-row skewed chain.
+// The batch's savings come from the pool layer instead: one dispatch,
+// one partition lookup, and one task covers every right-hand side.
+func (m *CSR) mulMultiRows(dsts, xs [][]float64, lo, hi int) {
+	for k := range xs {
+		m.mulRows(dsts[k], xs[k], lo, hi)
 	}
-	p.m.SpMV.Add(1)
-	workers := p.workers
-	if m.rows < 4096 || workers == 1 {
-		return m.MulVec(dst, x)
+}
+
+// rowPartition is a precomputed nnz-balanced split of a matrix's rows
+// into chunks: bounds[i]..bounds[i+1] is chunk i. imbalance is the
+// heaviest chunk's weight relative to the ideal (total/chunks); 1.0 is
+// perfect balance.
+type rowPartition struct {
+	chunks    int
+	bounds    []int32
+	imbalance float64
+}
+
+// rowPartition returns the cached nnz-balanced partition of the rows
+// into at most `chunks` contiguous chunks, computing and caching it on
+// first use (or when the requested chunk count changes). Row weight is
+// nnz(row)+1 so empty-row regions still split, and a chunk never ends
+// mid-row, so every parallel product remains bit-identical to the
+// serial kernel. The greedy cut guarantees every chunk's weight is
+// below ideal + the heaviest single row.
+func (m *CSR) rowPartition(chunks int) *rowPartition {
+	if p := m.part.Load(); p != nil && p.chunks == chunks {
+		return p
 	}
-	p.m.SpMVParallel.Add(1)
-	var wg sync.WaitGroup
-	chunk := (m.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= m.rows {
-			break
+	p := computePartition(m.rowPtr, m.rows, chunks)
+	m.part.Store(p)
+	return p
+}
+
+// computePartition greedily cuts rows into nnz-balanced chunks.
+func computePartition(rowPtr []int32, rows, chunks int) *rowPartition {
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > rows {
+		chunks = rows
+	}
+	total := int64(rowPtr[rows]) + int64(rows) // Σ (nnz(r) + 1)
+	ideal := float64(total) / float64(chunks)
+	bounds := make([]int32, 1, chunks+1)
+	var acc, maxChunk int64
+	var cut int64 = 1 // cut after the chunk's weight reaches cut*ideal
+	for r := 0; r < rows; r++ {
+		acc += int64(rowPtr[r+1]-rowPtr[r]) + 1
+		// Cut as soon as the cumulative weight crosses the next ideal
+		// boundary, but leave enough rows for the remaining chunks.
+		if float64(acc) >= float64(cut)*ideal && len(bounds) < chunks && rows-r-1 >= chunks-len(bounds) {
+			bounds = append(bounds, int32(r+1))
+			cut++
 		}
-		hi := lo + chunk
-		if hi > m.rows {
-			hi = m.rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for r := lo; r < hi; r++ {
-				sum := 0.0
-				for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-					sum += m.vals[i] * x[m.colIdx[i]]
-				}
-				dst[r] = sum
-			}
-		}(lo, hi)
 	}
-	wg.Wait()
-	check.FiniteVec("sparse.Pool.MulVec", dst)
-	return nil
+	bounds = append(bounds, int32(rows))
+	// Measure the realised balance.
+	for i := 0; i+1 < len(bounds); i++ {
+		w := chunkWeight(rowPtr, int(bounds[i]), int(bounds[i+1]))
+		if w > maxChunk {
+			maxChunk = w
+		}
+	}
+	imb := 1.0
+	if ideal > 0 {
+		imb = float64(maxChunk) / ideal
+	}
+	return &rowPartition{chunks: len(bounds) - 1, bounds: bounds, imbalance: imb}
+}
+
+// chunkWeight is the partition weight (nnz + row count) of rows [lo,hi).
+func chunkWeight(rowPtr []int32, lo, hi int) int64 {
+	return int64(rowPtr[hi]-rowPtr[lo]) + int64(hi-lo)
 }

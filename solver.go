@@ -161,6 +161,13 @@ func NewSolver(opts SolverOptions) *Solver {
 // and current entries. Available with or without Telemetry.
 func (s *Solver) Stats() engine.Stats { return s.eng.Stats() }
 
+// Close releases the solver's persistent SpMV worker goroutines. The
+// solver stays usable afterwards — later analyses run their products
+// serially — so Close is a resource release for callers that are done
+// with parallel solving, not a shutdown. Idempotent and safe to call
+// concurrently with in-flight solves (they finish normally).
+func (s *Solver) Close() { s.eng.Close() }
+
 var defaultSolver = sync.OnceValue(func() *Solver {
 	// The deprecated free functions previously built and discarded one
 	// expanded model per call; a small model cache keeps their memory
@@ -423,6 +430,84 @@ func (s *Solver) lifetimeDistribution(b Battery, w *Workload, times []float64, o
 		s.results.Put(key, memoEntry{val: d.clone(), rep: stored})
 	}
 	return d, nil
+}
+
+// lifetimeDistributionBatch solves the lifetime CDF for several time
+// grids against one (battery, workload, Δ) model in a single batched
+// transient solve (core.LifetimeCDFBatchOpts), after answering what it
+// can from the result memo. Distinct grids traverse the expanded matrix
+// together; duplicate grids are solved once. Each returned distribution
+// is bit-identical to a solo LifetimeDistribution call.
+//
+// On any failure it returns nil without touching the solve counters or
+// the memo: a batch error has no per-grid attribution, so the caller
+// (Sweep) falls back to solo solves, which re-run the counting and
+// report exact per-scenario errors.
+func (s *Solver) lifetimeDistributionBatch(b Battery, w *Workload, grids [][]float64, opts AnalysisOptions, pool *sparse.Pool) []*Distribution {
+	e, modelKey, hit, _, err := s.expanded(b, w, opts)
+	if err != nil {
+		return nil
+	}
+	dists := make([]*Distribution, len(grids))
+	var (
+		missKeys  []resultKey
+		missGrids [][]float64
+		missFor   [][]int // batch positions sharing missGrids[i]
+		memoHits  int64
+	)
+	seen := make(map[[sha256.Size]byte]int)
+	for k, grid := range grids {
+		key, _ := memoKey(kindCDF, modelKey, grid, opts) // Sweep sets no Progress: always memoable
+		if v, ok := s.results.Get(key); ok {
+			memoHits++
+			dists[k] = v.(memoEntry).val.(*Distribution).clone()
+			continue
+		}
+		if i, dup := seen[key.query]; dup {
+			missFor[i] = append(missFor[i], k)
+			continue
+		}
+		seen[key.query] = len(missGrids)
+		missKeys = append(missKeys, key)
+		missGrids = append(missGrids, grid)
+		missFor = append(missFor, []int{k})
+	}
+	if len(missGrids) > 0 {
+		ctx, span := s.solveSpan(opts.Context, "cdf_batch")
+		opts.Context = ctx
+		ress, err := e.LifetimeCDFBatchOpts(missGrids, s.solveOptions(opts, pool))
+		endSolveSpan(span, err)
+		if err != nil {
+			return nil
+		}
+		for i, res := range ress {
+			d := &Distribution{
+				Times:       res.Times,
+				EmptyProb:   res.EmptyProb,
+				States:      res.States,
+				Transitions: res.NNZ,
+				Iterations:  res.Iterations,
+			}
+			s.results.Put(missKeys[i], memoEntry{val: d, rep: SolveReport{
+				States:             res.States,
+				Transitions:        res.NNZ,
+				Iterations:         res.Iterations,
+				SpMVs:              res.SpMVs,
+				FoxGlynnLeft:       res.FoxGlynnLeft,
+				FoxGlynnRight:      res.FoxGlynnRight,
+				UniformizationRate: res.Rate,
+				ModelCacheHit:      hit,
+			}})
+			for _, k := range missFor[i] {
+				dists[k] = d.clone()
+			}
+		}
+	}
+	// Counters commit only once the whole batch is known good, so the
+	// solo fallback after a failed batch does not double-count.
+	s.solves.Add(int64(len(grids)))
+	s.memoHits.Add(memoHits)
+	return dists
 }
 
 // phasedKey folds the per-phase model keys and durations into one
@@ -777,43 +862,81 @@ type SweepOptions struct {
 	Progress func(done, total int)
 }
 
+// sweepGroups partitions scenario indexes by expanded-model identity
+// (the engine fingerprint over battery, workload and Δ): scenarios in
+// one group share an expanded CTMC and are solved as one batched
+// multi-grid transient. Scenarios that cannot be fingerprinted (nil
+// workload, non-positive Δ) become singleton groups so the solo path
+// reports their errors exactly. Group order follows first appearance,
+// and indexes within a group stay in input order.
+func sweepGroups(scenarios []Scenario) [][]int {
+	groups := make([][]int, 0, len(scenarios))
+	at := make(map[engine.Key]int, len(scenarios))
+	for i, sc := range scenarios {
+		if sc.Workload == nil || !(sc.DeltaAs > 0) {
+			groups = append(groups, []int{i})
+			continue
+		}
+		key, ok := engine.Fingerprint(sc.Workload.kibamrm(sc.Battery), sc.DeltaAs, core.Options{})
+		if !ok {
+			groups = append(groups, []int{i})
+			continue
+		}
+		if g, dup := at[key]; dup {
+			groups[g] = append(groups[g], i)
+			continue
+		}
+		at[key] = len(groups)
+		groups = append(groups, []int{i})
+	}
+	return groups
+}
+
 // Sweep evaluates a grid of scenarios in parallel over a bounded worker
 // pool, reusing the solver's model cache across scenarios (a Δ-sweep
 // over one model expands each distinct grid once, and repeated cells
-// not at all). Results are returned in input order and are bit-identical
-// to solving each scenario sequentially. The returned error is non-nil
-// only for empty input or a cancelled context; per-scenario failures
-// land in SweepResult.Err.
+// not at all). Scenarios that share one expanded CTMC — same battery,
+// workload and Δ, differing only in time grids — are additionally
+// solved as one batched multi-vector transient, so the matrix is
+// traversed once per uniformisation step for the whole group. Results
+// are returned in input order and are bit-identical to solving each
+// scenario sequentially. The returned error is non-nil only for empty
+// input or a cancelled context; per-scenario failures land in
+// SweepResult.Err.
 func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("%w: no scenarios", ErrBadArgument)
 	}
+	groups := sweepGroups(scenarios)
 	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 	// One SpMV pool shared by all sweep workers: splitting the cores
 	// between scenario- and matrix-parallelism keeps the goroutine count
-	// near NumCPU instead of workers × NumCPU.
+	// near NumCPU instead of workers × NumCPU. The pool's persistent
+	// workers are released when the sweep returns.
 	spmv := runtime.NumCPU() / workers
 	if spmv < 1 {
 		spmv = 1
 	}
 	pool := sparse.NewPoolObs(spmv, s.obs)
+	defer pool.Close()
 	ctx := opts.Context
 
-	// With telemetry, each enqueue is timestamped just before the channel
-	// send; the channel's happens-before edge makes the worker-side read
-	// race-free, and the difference is the scenario's queue wait.
+	// With telemetry, each group enqueue is timestamped just before the
+	// channel send; the channel's happens-before edge makes the
+	// worker-side read race-free, and the difference is the queue wait,
+	// observed once per scenario in the group.
 	var (
 		enqueued  []time.Time
 		queueWait *obs.Histogram
 	)
 	if s.obs != nil {
-		enqueued = make([]time.Time, len(scenarios))
+		enqueued = make([]time.Time, len(groups))
 		queueWait = s.obs.Histogram("sweep_queue_wait_seconds")
 		s.obs.Counter("sweep_scenarios_total").Add(int64(len(scenarios)))
 	}
@@ -829,55 +952,80 @@ func (s *Solver) Sweep(scenarios []Scenario, opts SweepOptions) ([]SweepResult, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobs {
-				sc := scenarios[idx]
-				// The scenario span parents from the sweep caller's
+			for gi := range jobs {
+				group := groups[gi]
+				// Per-scenario spans parent from the sweep caller's
 				// context (so daemon sweeps nest under their request
-				// trace) and the scenario's own solve runs under it.
-				scCtx := ctx
-				var span *obs.Span
-				if s.obs != nil {
-					queueWait.ObserveDuration(time.Since(enqueued[idx]).Seconds())
-					scCtx, span = obs.StartSpan(ctx, s.obs, "sweep.scenario",
-						obs.Int("index", int64(idx)),
-						obs.String("name", sc.Name),
-						obs.Float("delta", sc.DeltaAs))
+				// trace); solo solves run under their scenario's span.
+				spans := make([]*obs.Span, len(group))
+				scCtxs := make([]context.Context, len(group))
+				for j, idx := range group {
+					scCtxs[j] = ctx
+					if s.obs != nil {
+						queueWait.ObserveDuration(time.Since(enqueued[gi]).Seconds())
+						scCtxs[j], spans[j] = obs.StartSpan(ctx, s.obs, "sweep.scenario",
+							obs.Int("index", int64(idx)),
+							obs.String("name", scenarios[idx].Name),
+							obs.Float("delta", scenarios[idx].DeltaAs))
+					}
 				}
-				r := SweepResult{Index: idx, Name: sc.Name}
-				if ctx != nil && ctx.Err() != nil {
-					r.Err = ctx.Err()
-				} else {
-					r.Distribution, r.Err = s.lifetimeDistribution(sc.Battery, sc.Workload, sc.Times, AnalysisOptions{
-						Delta:         sc.DeltaAs,
+				cancelled := ctx != nil && ctx.Err() != nil
+				var batched []*Distribution
+				if !cancelled && len(group) > 1 {
+					first := scenarios[group[0]]
+					grids := make([][]float64, len(group))
+					for j, idx := range group {
+						grids[j] = scenarios[idx].Times
+					}
+					batched = s.lifetimeDistributionBatch(first.Battery, first.Workload, grids, AnalysisOptions{
+						Delta:         first.DeltaAs,
 						Epsilon:       opts.Epsilon,
 						MaxIterations: opts.MaxIterations,
-						Context:       scCtx,
+						Context:       ctx,
 					}, pool)
 				}
-				switch {
-				case r.Err != nil:
-					span.End(obs.String("error", r.Err.Error()))
-				case r.Distribution != nil:
-					span.End(obs.Int("states", int64(r.Distribution.States)),
-						obs.Int("iterations", int64(r.Distribution.Iterations)))
-				default:
-					span.End()
+				for j, idx := range group {
+					sc := scenarios[idx]
+					r := SweepResult{Index: idx, Name: sc.Name}
+					switch {
+					case cancelled:
+						r.Err = ctx.Err()
+					case batched != nil:
+						r.Distribution = batched[j]
+					default:
+						r.Distribution, r.Err = s.lifetimeDistribution(sc.Battery, sc.Workload, sc.Times, AnalysisOptions{
+							Delta:         sc.DeltaAs,
+							Epsilon:       opts.Epsilon,
+							MaxIterations: opts.MaxIterations,
+							Context:       scCtxs[j],
+						}, pool)
+					}
+					span := spans[j]
+					switch {
+					case r.Err != nil:
+						span.End(obs.String("error", r.Err.Error()))
+					case r.Distribution != nil:
+						span.End(obs.Int("states", int64(r.Distribution.States)),
+							obs.Int("iterations", int64(r.Distribution.Iterations)))
+					default:
+						span.End()
+					}
+					results[idx] = r
+					mu.Lock()
+					done++
+					if opts.Progress != nil {
+						opts.Progress(done, len(scenarios))
+					}
+					mu.Unlock()
 				}
-				results[idx] = r
-				mu.Lock()
-				done++
-				if opts.Progress != nil {
-					opts.Progress(done, len(scenarios))
-				}
-				mu.Unlock()
 			}
 		}()
 	}
-	for i := range scenarios {
+	for gi := range groups {
 		if enqueued != nil {
-			enqueued[i] = time.Now()
+			enqueued[gi] = time.Now()
 		}
-		jobs <- i
+		jobs <- gi
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,0 +1,117 @@
+package batlife
+
+import (
+	"testing"
+)
+
+// TestSweepBatchedGroupMatchesSolo forces the batched sweep path —
+// scenarios sharing (battery, workload, Δ) but with distinct time grids
+// land in one fingerprint group and are solved through a single
+// multi-vector transient — and checks every curve bit for bit against
+// fresh solo solves, the batching contract.
+func TestSweepBatchedGroupMatchesSolo(t *testing.T) {
+	b, w := onOffC1(t)
+	scenarios := []Scenario{
+		{Name: "short", Battery: b, Workload: w, DeltaAs: 100, Times: []float64{5000, 9000}},
+		{Name: "long", Battery: b, Workload: w, DeltaAs: 100, Times: []float64{10000, 15000, 20000}},
+		{Name: "dense", Battery: b, Workload: w, DeltaAs: 100, Times: []float64{6000, 7000, 8000, 9000}},
+		{Name: "short-again", Battery: b, Workload: w, DeltaAs: 100, Times: []float64{5000, 9000}},
+	}
+	reg := NewTelemetry()
+	s := NewSolver(SolverOptions{Telemetry: reg})
+	defer s.Close()
+	results, err := s.Sweep(scenarios, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %q: %v", r.Name, r.Err)
+		}
+		if r.Index != i || r.Name != scenarios[i].Name {
+			t.Fatalf("result %d is {Index: %d, Name: %q}, want input order", i, r.Index, r.Name)
+		}
+		solo, err := NewSolver(SolverOptions{}).LifetimeDistribution(
+			scenarios[i].Battery, scenarios[i].Workload, scenarios[i].Times,
+			AnalysisOptions{Delta: scenarios[i].DeltaAs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCurve(t, "batched sweep "+r.Name, r.Distribution.EmptyProb, solo.EmptyProb)
+	}
+
+	// One fingerprint group: the whole sweep must have expanded exactly
+	// one model and batched the three distinct grids into one transient
+	// (the duplicate grid dedupes; it is served from the batch, and a
+	// repeat sweep comes entirely from the result memo).
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("model builds = %d, want 1 (one shared expanded CTMC)", st.Misses)
+	}
+	if v := reg.Counter("ctmc_batched_solves_total").Value(); v != 1 {
+		t.Errorf("ctmc_batched_solves_total = %d, want 1", v)
+	}
+	if v := reg.Counter("solver_solves_total").Value(); v != int64(len(scenarios)) {
+		t.Errorf("solver_solves_total = %d, want %d", v, len(scenarios))
+	}
+
+	again, err := s.Sweep(scenarios, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range again {
+		if r.Err != nil {
+			t.Fatalf("memoised scenario %q: %v", r.Name, r.Err)
+		}
+		sameCurve(t, "memoised sweep "+r.Name, r.Distribution.EmptyProb, results[i].Distribution.EmptyProb)
+	}
+	if v := reg.Counter("solver_result_memo_hits_total").Value(); v != int64(len(scenarios)) {
+		t.Errorf("memo hits after repeat sweep = %d, want %d", v, len(scenarios))
+	}
+}
+
+// TestSweepBatchedGroupErrorFallsBackToSolo: when the shared model of a
+// group cannot be built (Δ does not divide the wells), the batch is
+// abandoned and every member reports its own solo error — batching must
+// not coarsen per-scenario error attribution.
+func TestSweepBatchedGroupErrorFallsBackToSolo(t *testing.T) {
+	b, w := onOffC1(t)
+	scenarios := []Scenario{
+		{Name: "bad-a", Battery: b, Workload: w, DeltaAs: 7, Times: []float64{5000}},
+		{Name: "bad-b", Battery: b, Workload: w, DeltaAs: 7, Times: []float64{9000}},
+		{Name: "good", Battery: b, Workload: w, DeltaAs: 100, Times: []float64{9000}},
+	}
+	results, err := NewSolver(SolverOptions{}).Sweep(scenarios, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results[:2] {
+		if r.Err == nil || r.Distribution != nil {
+			t.Errorf("scenario %q: err = %v, dist = %v; want per-scenario error", r.Name, r.Err, r.Distribution)
+		}
+	}
+	if results[2].Err != nil {
+		t.Errorf("scenario good: %v", results[2].Err)
+	}
+}
+
+// TestSolverCloseKeepsSolving: Close releases the worker pool but the
+// solver must keep answering queries (serially) and Close must be
+// idempotent.
+func TestSolverCloseKeepsSolving(t *testing.T) {
+	b, w := onOffC1(t)
+	times := []float64{9000, 12000}
+	s := NewSolver(SolverOptions{})
+	before, err := s.LifetimeDistribution(b, w, times, AnalysisOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	// Bypass the result memo with a fresh grid so the post-Close solve
+	// actually iterates.
+	after, err := s.LifetimeDistribution(b, w, []float64{9000, 12000, 15000}, AnalysisOptions{Delta: 100})
+	if err != nil {
+		t.Fatalf("solve after Close: %v", err)
+	}
+	sameCurve(t, "post-close prefix", after.EmptyProb[:2], before.EmptyProb)
+}

@@ -1,0 +1,296 @@
+// Command benchgate compares benchmark results against a committed
+// baseline and fails on regressions — the CI tripwire that keeps the
+// SpMV runtime's performance claims honest across commits.
+//
+// Input files are `go test -json` streams containing benchmark output
+// (the BENCH_*.json artifacts written by `make bench`). For every
+// benchmark the gate extracts ns/op — taking the minimum across
+// repeated runs (`-count=N`), the standard noise filter for shared
+// runners — plus allocs/op when the benchmark reported it, and compares
+// against the baseline:
+//
+//   - ns/op above baseline by more than -tolerance (default 10%) fails;
+//   - allocs/op above baseline by more than the same tolerance fails
+//     (alloc counts are deterministic, so this catches accidental
+//     per-call allocations the moment they land);
+//   - a baseline benchmark missing from the input fails, so renaming or
+//     deleting a benchmark forces a deliberate baseline refresh;
+//   - benchmarks absent from the baseline are reported but pass —
+//     refresh with -write-baseline to start gating them.
+//
+// Faster-than-baseline results always pass; commit a refreshed baseline
+// (`make bench-baseline`) to lock improvements in.
+//
+// Benchmark names are keyed as "<package>.<name>" with the trailing
+// -GOMAXPROCS suffix stripped, so baselines written on an n-core
+// machine compare on an m-core one. Avoid benchmark names ending in a
+// literal "-<digits>" segment; they are indistinguishable from the
+// GOMAXPROCS suffix. (Names like "persistent-w8" are safe — the suffix
+// strip requires the dash to immediately precede the digits.)
+//
+// Exit status: 0 all gates passed, 1 regression (or missing benchmark),
+// 2 usage or input-parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// measurement is one benchmark's gated quantities. AllocsPerOp is nil
+// when the benchmark did not report allocations.
+type measurement struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// baseline is the committed reference file.
+type baseline struct {
+	// Tolerance is the relative headroom regressions are allowed before
+	// failing; the -tolerance flag overrides it when set explicitly.
+	Tolerance  float64                `json:"tolerance"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+}
+
+// testEvent is the subset of the `go test -json` event schema benchgate
+// consumes.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches one complete benchmark result line, e.g.
+//
+//	BenchmarkUniformizedSpMV/persistent-w8-16   123   456789 ns/op   7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// allocsField extracts the allocs/op column when present.
+var allocsField = regexp.MustCompile(`\s([0-9.eE+]+) allocs/op`)
+
+// gomaxprocsSuffix is the trailing -N the benchmark runner appends when
+// GOMAXPROCS != 1; the dash must immediately precede the digits.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseStream folds one `go test -json` stream into per-benchmark
+// measurements, keyed "<package>.<name>". Benchmark text can arrive
+// split across several Output events (the runner prints the padded name
+// before the measurements), so output is reassembled per package before
+// line-scanning. Repeated runs of one benchmark keep the minimum ns/op
+// and the allocs/op of that fastest run.
+func parseStream(r io.Reader, into map[string]measurement) error {
+	perPkg := make(map[string]*strings.Builder)
+	order := []string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("not a `go test -json` stream: %w (line %q)", err, truncate(line, 80))
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		b, ok := perPkg[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, pkg := range order {
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return fmt.Errorf("package %s: bad ns/op in %q: %w", pkg, line, err)
+			}
+			name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+			key := pkg + "." + name
+			cur := measurement{NsPerOp: ns}
+			if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+				a, err := strconv.ParseFloat(am[1], 64)
+				if err != nil {
+					return fmt.Errorf("package %s: bad allocs/op in %q: %w", pkg, line, err)
+				}
+				cur.AllocsPerOp = &a
+			}
+			if prev, seen := into[key]; !seen || cur.NsPerOp < prev.NsPerOp {
+				into[key] = cur
+			}
+		}
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// gate compares current measurements against the baseline and returns
+// the failures and informational notes.
+func gate(base baseline, cur map[string]measurement, tol float64) (failures, notes []string) {
+	keys := make([]string, 0, len(base.Benchmarks))
+	for k := range base.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		want := base.Benchmarks[k]
+		got, ok := cur[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: in baseline but not in results — deleted or renamed? refresh with -write-baseline if intended", k))
+			continue
+		}
+		if limit := want.NsPerOp * (1 + tol); got.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by %.1f%% (tolerance %.0f%%)",
+				k, got.NsPerOp, want.NsPerOp, 100*(got.NsPerOp/want.NsPerOp-1), 100*tol))
+		}
+		if want.AllocsPerOp != nil && got.AllocsPerOp != nil {
+			if limit := *want.AllocsPerOp * (1 + tol); *got.AllocsPerOp > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f allocs/op exceeds baseline %.1f allocs/op (tolerance %.0f%%)",
+					k, *got.AllocsPerOp, *want.AllocsPerOp, 100*tol))
+			}
+		}
+	}
+	for k := range cur {
+		if _, ok := base.Benchmarks[k]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (passes; -write-baseline to gate it)", k))
+		}
+	}
+	sort.Strings(notes)
+	return failures, notes
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write)")
+	tolerance := fs.Float64("tolerance", 0, "relative regression headroom; 0 uses the baseline's own tolerance (default 0.10)")
+	write := fs.Bool("write-baseline", false, "write the parsed results as the new baseline instead of gating")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchgate [flags] BENCH_file.json...\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "benchgate: no input files (expected go test -json benchmark streams)")
+		fs.Usage()
+		return exitUsage
+	}
+	if *tolerance < 0 || math.IsNaN(*tolerance) {
+		fmt.Fprintf(stderr, "benchgate: tolerance %v out of range\n", *tolerance)
+		return exitUsage
+	}
+
+	cur := make(map[string]measurement)
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return exitUsage
+		}
+		err = parseStream(f, cur)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %s: %v\n", path, err)
+			return exitUsage
+		}
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(stderr, "benchgate: no benchmark results found in input")
+		return exitUsage
+	}
+
+	if *write {
+		tol := *tolerance
+		if tol == 0 {
+			tol = 0.10
+		}
+		out := baseline{Tolerance: tol, Benchmarks: cur}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return exitRegression
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return exitRegression
+		}
+		fmt.Fprintf(stdout, "benchgate: wrote %d benchmarks to %s (tolerance %.0f%%)\n",
+			len(cur), *baselinePath, 100*tol)
+		return exitOK
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v (run with -write-baseline to create it)\n", err)
+		return exitUsage
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "benchgate: %s: %v\n", *baselinePath, err)
+		return exitUsage
+	}
+	tol := *tolerance
+	if tol == 0 {
+		tol = base.Tolerance
+	}
+	if tol <= 0 {
+		tol = 0.10
+	}
+
+	failures, notes := gate(base, cur, tol)
+	for _, n := range notes {
+		fmt.Fprintf(stdout, "note: %s\n", n)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "FAIL: %s\n", f)
+		}
+		fmt.Fprintf(stderr, "benchgate: %d regression(s) against %s\n", len(failures), *baselinePath)
+		return exitRegression
+	}
+	fmt.Fprintf(stdout, "benchgate: %d benchmarks within %.0f%% of %s\n",
+		len(base.Benchmarks), 100*tol, *baselinePath)
+	return exitOK
+}

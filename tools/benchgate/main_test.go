@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stream builds a `go test -json` fragment carrying the given benchmark
+// output lines, splitting each line into a padded-name event and a
+// measurement event — the shape the real runner produces.
+func stream(pkg string, lines ...string) string {
+	var b strings.Builder
+	for _, line := range lines {
+		name, rest, _ := strings.Cut(line, "\t")
+		for _, out := range []string{name + "         \t", rest + "\n"} {
+			ev, _ := json.Marshal(map[string]string{
+				"Action": "output", "Package": pkg, "Output": out,
+			})
+			b.Write(ev)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseStreamReassemblesAndTakesMin(t *testing.T) {
+	in := stream("batlife/internal/sparse",
+		"BenchmarkUniformizedSpMV/persistent-w8-16\t     100\t    540000 ns/op",
+		"BenchmarkUniformizedSpMV/persistent-w8-16\t     120\t    520000 ns/op", // -count rerun, faster
+		"BenchmarkFused\t     200\t    910.5 ns/op\t      64 B/op\t       3 allocs/op",
+	)
+	got := make(map[string]measurement)
+	if err := parseStream(strings.NewReader(in), got); err != nil {
+		t.Fatal(err)
+	}
+	spmv, ok := got["batlife/internal/sparse.BenchmarkUniformizedSpMV/persistent-w8"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped; keys: %v", keys(got))
+	}
+	if spmv.NsPerOp != 520000 {
+		t.Errorf("min-of-N ns/op = %v, want 520000", spmv.NsPerOp)
+	}
+	fused := got["batlife/internal/sparse.BenchmarkFused"]
+	if fused.NsPerOp != 910.5 || fused.AllocsPerOp == nil || *fused.AllocsPerOp != 3 {
+		t.Errorf("fused = %+v, want 910.5 ns/op with 3 allocs/op", fused)
+	}
+}
+
+func keys(m map[string]measurement) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestParseStreamRejectsNonJSON(t *testing.T) {
+	got := make(map[string]measurement)
+	if err := parseStream(strings.NewReader("BenchmarkFoo 1 5 ns/op\n"), got); err == nil {
+		t.Fatal("plain-text benchmark output accepted; want a parse error demanding -json streams")
+	}
+}
+
+// TestGateRegressionAndHeadroom pins the gate arithmetic: within
+// tolerance passes, beyond fails, faster always passes.
+func TestGateRegressionAndHeadroom(t *testing.T) {
+	base := baseline{Benchmarks: map[string]measurement{
+		"p.BenchmarkA": {NsPerOp: 1000},
+		"p.BenchmarkB": {NsPerOp: 1000},
+		"p.BenchmarkC": {NsPerOp: 1000},
+	}}
+	cur := map[string]measurement{
+		"p.BenchmarkA": {NsPerOp: 1099}, // +9.9%: inside 10%
+		"p.BenchmarkB": {NsPerOp: 1200}, // +20%: regression
+		"p.BenchmarkC": {NsPerOp: 600},  // improvement
+	}
+	failures, notes := gate(base, cur, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkB") {
+		t.Errorf("failures = %v, want exactly the 20%% regression on BenchmarkB", failures)
+	}
+	if len(notes) != 0 {
+		t.Errorf("notes = %v, want none", notes)
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	three, five := 3.0, 5.0
+	base := baseline{Benchmarks: map[string]measurement{
+		"p.BenchmarkA": {NsPerOp: 1000, AllocsPerOp: &three},
+	}}
+	cur := map[string]measurement{
+		"p.BenchmarkA": {NsPerOp: 1000, AllocsPerOp: &five},
+	}
+	failures, _ := gate(base, cur, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Errorf("failures = %v, want one allocs/op regression", failures)
+	}
+}
+
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	base := baseline{Benchmarks: map[string]measurement{
+		"p.BenchmarkGone": {NsPerOp: 1000},
+	}}
+	failures, _ := gate(base, map[string]measurement{"p.BenchmarkNew": {NsPerOp: 1}}, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGone") {
+		t.Errorf("failures = %v, want missing-benchmark failure", failures)
+	}
+}
+
+// TestRunRoundTrip drives the binary path end to end: write a baseline
+// from one stream, gate an identical stream (pass), then gate a stream
+// with ns/op inflated 20% — the documented negative test for the 10%
+// default tolerance — and require exit 1.
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_BASELINE.json")
+	good := writeFile(t, dir, "BENCH_good.json", stream("batlife/internal/sparse",
+		"BenchmarkUniformizedSpMV/persistent-w8\t     100\t    500000 ns/op",
+		"BenchmarkUniformizedSpMV/spawn-w8\t     100\t    700000 ns/op",
+	))
+	inflated := writeFile(t, dir, "BENCH_inflated.json", stream("batlife/internal/sparse",
+		"BenchmarkUniformizedSpMV/persistent-w8\t     100\t    600000 ns/op", // +20%
+		"BenchmarkUniformizedSpMV/spawn-w8\t     100\t    700000 ns/op",
+	))
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-write-baseline", good}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("write-baseline exit %d, stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-baseline", basePath, good}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("self-gate exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-baseline", basePath, inflated}, &stdout, &stderr); code != exitRegression {
+		t.Fatalf("20%%-inflated gate exit %d, want %d; stderr: %s", code, exitRegression, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "persistent-w8") || !strings.Contains(stderr.String(), "20.0%") {
+		t.Errorf("regression report missing culprit/magnitude: %s", stderr.String())
+	}
+	// A looser explicit tolerance lets the same input through.
+	if code := run([]string{"-baseline", basePath, "-tolerance", "0.25", inflated}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("25%%-tolerance gate exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != exitUsage {
+		t.Errorf("no files: exit %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"/nonexistent/bench.json"}, &stdout, &stderr); code != exitUsage {
+		t.Errorf("missing file: exit %d, want %d", code, exitUsage)
+	}
+	dir := t.TempDir()
+	empty := writeFile(t, dir, "empty.json", "")
+	if code := run([]string{"-baseline", filepath.Join(dir, "nope.json"), empty}, &stdout, &stderr); code != exitUsage {
+		t.Errorf("empty stream: exit %d, want %d", code, exitUsage)
+	}
+	good := writeFile(t, dir, "ok.json", stream("p", "BenchmarkA\t 1\t 5 ns/op"))
+	if code := run([]string{"-baseline", filepath.Join(dir, "nope.json"), good}, &stdout, &stderr); code != exitUsage {
+		t.Errorf("absent baseline: exit %d, want %d", code, exitUsage)
+	}
+}
+
+// TestBaselineFileShape locks the on-disk schema (other tooling may
+// read it) and that fmt.Stringer-ish float noise stays out.
+func TestBaselineFileShape(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "b.json")
+	in := writeFile(t, dir, "in.json", stream("p", "BenchmarkA\t 10\t 123 ns/op"))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-write-baseline", in}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Tolerance != 0.10 {
+		t.Errorf("default tolerance = %v, want 0.10", b.Tolerance)
+	}
+	if m := b.Benchmarks["p.BenchmarkA"]; m.NsPerOp != 123 || m.AllocsPerOp != nil {
+		t.Errorf("benchmark entry = %+v", m)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Error("baseline file does not end in newline")
+	}
+}

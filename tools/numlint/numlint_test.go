@@ -109,10 +109,10 @@ func TestCtxflowFixture(t *testing.T) {
 
 func TestSharedcaptureFixture(t *testing.T) {
 	assertFindings(t, loadFixture(t, "sharedcapture"), []string{
-		"sharedcapture:16", // total++ with no lock
-		"sharedcapture:69", // out[next] shared index
-		"sharedcapture:70", // next++ with no lock
-		"sharedcapture:81", // return with mu held
+		"sharedcapture:19", // total++ with no lock
+		"sharedcapture:72", // out[next] shared index
+		"sharedcapture:73", // next++ with no lock
+		"sharedcapture:84", // return with mu held
 	})
 }
 

@@ -44,3 +44,22 @@ func Concat(a, b string) string {
 func Cold(n int) []int {
 	return make([]int, n)
 }
+
+// Dispatch is the persistent-pool dispatch idiom on the hot path:
+// non-blocking channel announcements, slicing a caller-owned buffer,
+// and an in-place kernel — no composite literals, no make/append, no
+// goroutine spawn, so an annotated dispatcher stays clean.
+//
+//numlint:hotpath
+func Dispatch(tasks chan int, dst []float64, chunks int) {
+	for c := 0; c < chunks; c++ {
+		select {
+		case tasks <- c:
+		default:
+		}
+	}
+	half := dst[:len(dst)/2]
+	for i := range half {
+		half[i] = 0
+	}
+}

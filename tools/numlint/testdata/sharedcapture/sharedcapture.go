@@ -3,7 +3,10 @@
 // the expected findings.
 package sharedcapture
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // RacyCounter increments a captured counter with no lock in sight.
 func RacyCounter(n int) int {
@@ -13,7 +16,7 @@ func RacyCounter(n int) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			total++ // want sharedcapture (line 16)
+			total++ // want sharedcapture (line 19)
 		}()
 	}
 	wg.Wait()
@@ -66,8 +69,8 @@ func SharedIndex(n int) []int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[next] = 1 // want sharedcapture (line 69)
-			next++        // want sharedcapture (line 70)
+			out[next] = 1 // want sharedcapture (line 72)
+			next++        // want sharedcapture (line 73)
 		}()
 	}
 	wg.Wait()
@@ -78,7 +81,7 @@ func SharedIndex(n int) []int {
 func LeakyLock(mu *sync.Mutex, fail bool) int {
 	mu.Lock()
 	if fail {
-		return 0 // want sharedcapture (line 81)
+		return 0 // want sharedcapture (line 84)
 	}
 	mu.Unlock()
 	return 1
@@ -100,4 +103,41 @@ func DeferClosureBalanced(mu *sync.Mutex) int {
 	mu.Lock()
 	defer func() { mu.Unlock() }()
 	return 1
+}
+
+// chunkJob mirrors the persistent SpMV pool's task shape: a cursor the
+// workers race on atomically, a per-chunk completion WaitGroup, and the
+// output slice the claimed chunk indexes into.
+type chunkJob struct {
+	next    atomic.Int32
+	pending sync.WaitGroup
+	dst     []float64
+}
+
+// PersistentWorkers is the persistent worker-pool idiom the runtime
+// uses: long-lived goroutines drain a captured task channel, claim
+// chunks through the job's own atomic cursor into a literal-local
+// index, and write only slice elements reached through the received job
+// pointer. No captured variable is mutated, so nothing is flagged —
+// channel receives and atomic claims are the synchronisation.
+func PersistentWorkers(tasks chan *chunkJob, quit chan struct{}, workers int) {
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case <-quit:
+					return
+				case j := <-tasks:
+					for {
+						c := int(j.next.Add(1)) - 1
+						if c >= len(j.dst) {
+							return
+						}
+						j.dst[c] = float64(c)
+						j.pending.Done()
+					}
+				}
+			}
+		}()
+	}
 }
